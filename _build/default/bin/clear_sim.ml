@@ -1,0 +1,171 @@
+(* clear_sim: command-line front end for the CLEAR simulator.
+
+   `clear_sim list`                         enumerate benchmarks
+   `clear_sim run -w bst -c W ...`          run one benchmark/config
+   `clear_sim analyze [-w bst]`             static AR classification
+   `clear_sim config -c B`                  print the machine configuration *)
+
+open Cmdliner
+
+let letter_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "B" | "P" | "C" | "W" -> Ok (String.uppercase_ascii s)
+    | _ -> Error (`Msg "expected one of B, P, C, W")
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let workload_arg =
+  let doc = "Benchmark name (see `clear_sim list`)." in
+  Arg.(value & opt string "arrayswap" & info [ "w"; "workload" ] ~doc)
+
+let preset_arg =
+  let doc = "Configuration: B (requester-wins), P (PowerTM), C (CLEAR/rw), W (CLEAR/PowerTM)." in
+  Arg.(value & opt letter_conv "B" & info [ "c"; "config" ] ~doc)
+
+let cores_arg = Arg.(value & opt int 16 & info [ "cores" ] ~doc:"Simulated cores.")
+
+let ops_arg = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Operations per thread.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Run seed.")
+
+let retries_arg = Arg.(value & opt int 4 & info [ "retries" ] ~doc:"Retry limit before fallback.")
+
+let frontend_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "htm" -> Ok Machine.Config.Htm
+    | "sle" -> Ok Machine.Config.Sle
+    | _ -> Error (`Msg "expected htm or sle")
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (match f with Machine.Config.Htm -> "htm" | Machine.Config.Sle -> "sle")
+  in
+  Arg.conv (parse, print)
+
+let trace_arg =
+  Arg.(value & opt int 0
+       & info [ "trace" ] ~doc:"Print the last N lifecycle events of the run (0 = off).")
+
+let frontend_arg =
+  Arg.(value & opt frontend_conv Machine.Config.Htm
+       & info [ "frontend" ] ~doc:"Speculation front-end: htm (transactions) or sle (lock elision).")
+
+let find_workload name =
+  match Workloads.Registry.find name with
+  | w -> w
+  | exception Not_found ->
+      Printf.eprintf "unknown workload %s; try `clear_sim list`\n" name;
+      exit 2
+
+let config_of ?(frontend = Machine.Config.Htm) letter ~cores ~ops ~seed ~retries =
+  let base =
+    match letter with
+    | "B" -> Machine.Config.baseline
+    | "P" -> Machine.Config.power_tm
+    | "C" -> Machine.Config.clear_rw
+    | "W" -> Machine.Config.clear_power
+    | _ -> assert false
+  in
+  { base with Machine.Config.cores; ops_per_thread = ops; seed; max_retries = retries; frontend }
+
+let run_cmd =
+  let run workload letter cores ops seed retries frontend trace_n =
+    let w = find_workload workload in
+    let cfg = config_of ~frontend letter ~cores ~ops ~seed ~retries in
+    let trace = if trace_n > 0 then Some (Machine.Trace.create ()) else None in
+    let t0 = Unix.gettimeofday () in
+    let stats = Machine.Engine.run (Machine.Engine.create ?trace cfg w) in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let module S = Machine.Stats in
+    Printf.printf "workload        %s (%s, %d cores, %d ops/thread, seed %d)\n" w.name letter cores
+      ops seed;
+    Printf.printf "total cycles    %d\n" (S.total_cycles stats);
+    Printf.printf "commits         %d\n" (S.commits stats);
+    List.iter
+      (fun mode ->
+        Printf.printf "  %-12s  %d\n" (S.commit_mode_name mode) (S.commits_in_mode stats mode))
+      S.all_commit_modes;
+    Printf.printf "aborts          %d (%.2f per commit)\n" (S.aborts stats) (S.aborts_per_commit stats);
+    List.iter
+      (fun cat ->
+        Printf.printf "  %-17s %d\n" (Machine.Abort.category_name cat) (S.aborts_in_category stats cat))
+      Machine.Abort.all_categories;
+    List.iter
+      (fun cause ->
+        let n = S.aborts_with_cause stats cause in
+        if n > 0 then Printf.printf "    %-16s %d\n" (Machine.Abort.cause_name cause) n)
+      [
+        Machine.Abort.Memory_conflict;
+        Machine.Abort.Nacked;
+        Machine.Abort.Explicit_fallback;
+        Machine.Abort.Other_fallback;
+        Machine.Abort.Capacity;
+        Machine.Abort.Scl_deviation;
+        Machine.Abort.Other;
+      ];
+    let one, many, fb = S.retry_breakdown stats in
+    Printf.printf "retried commits  1-retry %.1f%%  n-retry %.1f%%  fallback %.1f%%\n" (100. *. one)
+      (100. *. many) (100. *. fb);
+    Printf.printf "first-try ratio %.1f%%\n" (100. *. S.first_try_ratio stats);
+    Printf.printf "fig1 ratio      %.2f\n" (S.fig1_ratio stats);
+    Printf.printf "instructions    %d (+%d wasted)\n" (S.instrs stats) (S.wasted_instrs stats);
+    Printf.printf "energy          %.3f uJ\n"
+      (Energy.Model.total Energy.Model.default ~cores ~cycles:(S.total_cycles stats)
+         (S.counters stats)
+      /. 1e6);
+    let counter name = Simrt.Counter.get (S.counters stats) name in
+    Printf.printf "stall cycles    %d  lock-phase cycles %d\n" (counter "stall_cycles")
+      (counter "lock_phase_cycles");
+    Printf.printf "host time       %.2f s\n" elapsed;
+    match trace with
+    | Some tr ->
+        Printf.printf "--- last %d events (of %d recorded) ---\n" trace_n (Machine.Trace.recorded tr);
+        Machine.Trace.dump ~limit:trace_n tr Format.std_formatter
+    | None -> ()
+  in
+  let term =
+    Term.(
+      const run $ workload_arg $ preset_arg $ cores_arg $ ops_arg $ seed_arg $ retries_arg
+      $ frontend_arg $ trace_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one configuration.") term
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun (w : Machine.Workload.t) ->
+        Printf.printf "%-12s %2d ARs  %s\n" w.name (List.length w.ars) w.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks.") Term.(const list $ const ())
+
+let analyze_cmd =
+  let analyze workload =
+    let ws =
+      if workload = "all" then Workloads.Registry.all else [ find_workload workload ]
+    in
+    List.iter
+      (fun (w : Machine.Workload.t) ->
+        Printf.printf "%s:\n" w.name;
+        List.iter
+          (fun (ar, c) ->
+            Printf.printf "  %-20s %s\n" ar.Isa.Program.name (Clear.Analysis.classification_name c))
+          (Clear.Analysis.classify_workload w.ars))
+      ws
+  in
+  let arg = Arg.(value & opt string "all" & info [ "w"; "workload" ] ~doc:"Benchmark or 'all'.") in
+  Cmd.v (Cmd.info "analyze" ~doc:"Static AR mutability classification (Table 1).")
+    Term.(const analyze $ arg)
+
+let config_cmd =
+  let show letter cores ops seed retries =
+    let cfg = config_of letter ~cores ~ops ~seed ~retries in
+    Format.printf "%a@." Machine.Config.pp cfg
+  in
+  Cmd.v (Cmd.info "config" ~doc:"Print the machine configuration (Table 2).")
+    Term.(const show $ preset_arg $ cores_arg $ ops_arg $ seed_arg $ retries_arg)
+
+let () =
+  let info = Cmd.info "clear_sim" ~doc:"CLEAR bounded-retry HTM simulator." in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; analyze_cmd; config_cmd ]))

@@ -1,0 +1,1 @@
+examples/contention_study.ml: List Machine Printf Workloads

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Clear Isa List Machine Mem Printf Simrt

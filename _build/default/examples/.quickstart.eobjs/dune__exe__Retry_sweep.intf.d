@@ -1,0 +1,1 @@
+examples/retry_sweep.mli:

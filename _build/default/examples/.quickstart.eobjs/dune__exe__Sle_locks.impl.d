@@ -1,0 +1,1 @@
+examples/sle_locks.ml: Machine Printf Workloads

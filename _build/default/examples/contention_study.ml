@@ -1,0 +1,39 @@
+(* Contention study: where does CLEAR start to pay off?
+
+     dune exec examples/contention_study.exe
+
+   Sweeps the core count on mwobject (every thread updates the same
+   cacheline) and on kmeans-l (many clusters, low contention). CLEAR's
+   cacheline locking wins under contention and stays out of the way without
+   it — the trade-off the paper's introduction motivates. *)
+
+module Config = Machine.Config
+module Engine = Machine.Engine
+module Stats = Machine.Stats
+
+let run preset ~cores workload =
+  let cfg = { preset with Config.cores; ops_per_thread = 150 } in
+  Engine.run_workload cfg workload
+
+let sweep workload =
+  Printf.printf "%s:\n" workload.Machine.Workload.name;
+  Printf.printf "  %6s %14s %14s %9s %16s\n" "cores" "baseline (cyc)" "CLEAR (cyc)" "speedup"
+    "CLEAR aborts/cmt";
+  List.iter
+    (fun cores ->
+      let b = run Config.baseline ~cores workload in
+      let c = run Config.clear_rw ~cores workload in
+      Printf.printf "  %6d %14d %14d %8.2fx %16.2f\n" cores (Stats.total_cycles b)
+        (Stats.total_cycles c)
+        (float_of_int (Stats.total_cycles b) /. float_of_int (max 1 (Stats.total_cycles c)))
+        (Stats.aborts_per_commit c))
+    [ 2; 4; 8; 16; 32 ];
+  print_newline ()
+
+let () =
+  sweep (Workloads.Registry.find "mwobject");
+  sweep (Workloads.Registry.find "kmeans-l");
+  print_endline
+    "Under contention (mwobject) CLEAR's bounded retry wins and the gap widens with the\n\
+     core count; under low contention (kmeans-l) the discovery overhead is negligible and\n\
+     the two configurations track each other."

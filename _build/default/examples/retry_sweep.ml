@@ -1,0 +1,38 @@
+(* Retry-limit design-space exploration (the paper's methodology sweeps 1-10
+   retries per application and keeps the best).
+
+     dune exec examples/retry_sweep.exe
+
+   Shows why the sweep matters: the best retry limit differs per
+   configuration — the baseline prefers more retries under heavy contention
+   (fallback is expensive), while CLEAR prefers few (the first retry already
+   runs under cacheline locking). *)
+
+module Config = Machine.Config
+module Engine = Machine.Engine
+module Stats = Machine.Stats
+
+let () =
+  let workload = Workloads.Registry.find "stack" in
+  let retry_choices = [ 1; 2; 3; 4; 6; 8; 10 ] in
+  Printf.printf "benchmark: %s (16 cores)\n\n" workload.Machine.Workload.name;
+  Printf.printf "%8s" "retries";
+  List.iter (fun (l, _) -> Printf.printf "%14s" (l ^ " (cycles)")) [ ("B", ()); ("W", ()) ];
+  print_newline ();
+  let results =
+    List.map
+      (fun retries ->
+        let cycles preset =
+          let cfg =
+            { preset with Config.cores = 16; ops_per_thread = 200; max_retries = retries }
+          in
+          Stats.total_cycles (Engine.run_workload cfg workload)
+        in
+        (retries, cycles Config.baseline, cycles Config.clear_power))
+      retry_choices
+  in
+  List.iter (fun (r, b, w) -> Printf.printf "%8d%14d%14d\n" r b w) results;
+  let best f = List.fold_left (fun acc x -> if f x < f acc then x else acc) (List.hd results) results in
+  let rb, _, _ = best (fun (_, b, _) -> b) in
+  let rw, _, _ = best (fun (_, _, w) -> w) in
+  Printf.printf "\nbest retry limit: baseline=%d, CLEAR+PowerTM=%d\n" rb rw

@@ -1,0 +1,1 @@
+lib/core/alt.ml: List Mem

@@ -1,0 +1,1 @@
+lib/core/alt.mli: Mem

@@ -1,0 +1,1 @@
+lib/core/indirection.ml: Bytes List

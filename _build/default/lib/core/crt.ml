@@ -1,0 +1,55 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array; (* -1 = empty *)
+  age : int array;
+  mutable tick : int;
+}
+
+let create ?(entries = 64) ?(ways = 8) () =
+  if entries <= 0 || ways <= 0 || entries mod ways <> 0 then
+    invalid_arg "Crt.create: entries must be a positive multiple of ways";
+  let sets = entries / ways in
+  { sets; ways; tags = Array.make entries (-1); age = Array.make entries 0; tick = 0 }
+
+let set_of t line = line mod t.sets
+
+let find t line =
+  let base = set_of t line * t.ways in
+  let rec loop w = if w = t.ways then None else if t.tags.(base + w) = line then Some (base + w) else loop (w + 1) in
+  loop 0
+
+let insert t line =
+  t.tick <- t.tick + 1;
+  match find t line with
+  | Some i -> t.age.(i) <- t.tick
+  | None ->
+      let base = set_of t line * t.ways in
+      let victim = ref base in
+      let found_empty = ref false in
+      for w = 0 to t.ways - 1 do
+        let i = base + w in
+        if (not !found_empty) && t.tags.(i) = -1 then begin
+          victim := i;
+          found_empty := true
+        end
+        else if (not !found_empty) && t.age.(i) < t.age.(!victim) then victim := i
+      done;
+      t.tags.(!victim) <- line;
+      t.age.(!victim) <- t.tick
+
+let mem t line = find t line <> None
+
+let remove t line =
+  match find t line with
+  | Some i ->
+      t.tags.(i) <- -1;
+      t.age.(i) <- 0
+  | None -> ()
+
+let size t = Array.fold_left (fun n tag -> if tag <> -1 then n + 1 else n) 0 t.tags
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.age 0 (Array.length t.age) 0;
+  t.tick <- 0

@@ -1,0 +1,76 @@
+type entry = {
+  pc : int;
+  mutable is_convertible : bool;
+  mutable is_immutable : bool;
+  mutable sq_full : int;
+}
+
+type slot = { mutable e : entry option; mutable age : int }
+
+type t = { slots : slot array; mutable tick : int }
+
+let sq_full_max = 3 (* 2-bit saturating counter *)
+
+let create ?(entries = 16) () =
+  if entries <= 0 then invalid_arg "Ert.create: entries must be positive";
+  { slots = Array.init entries (fun _ -> { e = None; age = 0 }); tick = 0 }
+
+let capacity t = Array.length t.slots
+
+let bump t slot =
+  t.tick <- t.tick + 1;
+  slot.age <- t.tick
+
+let find_slot t pc =
+  let n = Array.length t.slots in
+  let rec loop i =
+    if i = n then None
+    else
+      match t.slots.(i).e with
+      | Some e when e.pc = pc -> Some t.slots.(i)
+      | Some _ | None -> loop (i + 1)
+  in
+  loop 0
+
+let lookup t ~pc =
+  match find_slot t pc with
+  | Some slot ->
+      bump t slot;
+      slot.e
+  | None -> None
+
+let lookup_or_insert t ~pc =
+  match find_slot t pc with
+  | Some slot ->
+      bump t slot;
+      (match slot.e with Some e -> e | None -> assert false)
+  | None ->
+      (* Prefer an empty slot, otherwise evict LRU. *)
+      let victim = ref t.slots.(0) in
+      let found_empty = ref false in
+      Array.iter
+        (fun s ->
+          if (not !found_empty) && s.e = None then begin
+            victim := s;
+            found_empty := true
+          end
+          else if (not !found_empty) && s.age < !victim.age then victim := s)
+        t.slots;
+      let e = { pc; is_convertible = true; is_immutable = true; sq_full = 0 } in
+      !victim.e <- Some e;
+      bump t !victim;
+      e
+
+let mark_not_convertible e = e.is_convertible <- false
+
+let mark_not_immutable e = e.is_immutable <- false
+
+let with_entry t pc f = match find_slot t pc with Some { e = Some e; _ } -> f e | _ -> ()
+
+let note_sq_full t ~pc = with_entry t pc (fun e -> if e.sq_full < sq_full_max then e.sq_full <- e.sq_full + 1)
+
+let note_commit t ~pc = with_entry t pc (fun e -> if e.sq_full > 0 then e.sq_full <- e.sq_full - 1)
+
+let discovery_enabled e = e.is_convertible && e.sq_full < sq_full_max
+
+let occupancy t = Array.fold_left (fun n s -> match s.e with Some _ -> n + 1 | None -> n) 0 t.slots

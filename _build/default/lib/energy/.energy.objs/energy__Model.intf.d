@@ -1,0 +1,1 @@
+lib/energy/model.mli: Simrt

@@ -1,0 +1,38 @@
+module Counter = Simrt.Counter
+
+type costs = {
+  static_per_core_cycle : float;
+  instr : float;
+  l1_access : float;
+  l2_access : float;
+  l3_access : float;
+  mem_access : float;
+  coherence_msg : float;
+  abort : float;
+}
+
+let default =
+  {
+    static_per_core_cycle = 2.0;
+    instr = 8.0;
+    l1_access = 10.0;
+    l2_access = 40.0;
+    l3_access = 150.0;
+    mem_access = 2000.0;
+    coherence_msg = 25.0;
+    abort = 400.0;
+  }
+
+let dynamic costs set =
+  let c name = float_of_int (Counter.get set name) in
+  (costs.instr *. c "instrs")
+  +. (costs.l1_access *. c "l1_hit")
+  +. (costs.l2_access *. c "l2_hit")
+  +. (costs.l3_access *. c "l3_hit")
+  +. (costs.mem_access *. c "mem_access")
+  +. (costs.coherence_msg *. c "coh_msgs")
+  +. (costs.abort *. c "aborts")
+
+let static costs ~cores ~cycles = costs.static_per_core_cycle *. float_of_int cores *. float_of_int cycles
+
+let total costs ~cores ~cycles set = static costs ~cores ~cycles +. dynamic costs set

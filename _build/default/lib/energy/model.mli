@@ -1,0 +1,32 @@
+(** Event-based energy model (McPAT substitution).
+
+    McPAT derives per-event energies from circuit models; here the per-event
+    costs are fixed constants in picojoules, chosen to match the relative
+    magnitudes McPAT reports for a 22 nm out-of-order core (an ALU operation
+    is a few pJ, cache accesses grow with level, a DRAM access is two orders
+    of magnitude more, and static power burns per cycle per core). The
+    paper's energy result rests on two effects this model captures exactly:
+    shorter runtime cuts static energy, and fewer aborted instructions cut
+    dynamic energy. *)
+
+type costs = {
+  static_per_core_cycle : float;  (** pJ per cycle per core *)
+  instr : float;  (** dynamic pJ per retired or wasted instruction *)
+  l1_access : float;
+  l2_access : float;
+  l3_access : float;
+  mem_access : float;
+  coherence_msg : float;
+  abort : float;  (** checkpoint restore + pipeline flush *)
+}
+
+val default : costs
+
+val dynamic : costs -> Simrt.Counter.set -> float
+(** Dynamic energy in pJ from the run's event counters (uses the
+    [instrs], [wasted_instrs], [l1_hit], [l2_hit], [l3_hit], [mem_access],
+    [coh_msgs] and [aborts] counters). *)
+
+val static : costs -> cores:int -> cycles:int -> float
+
+val total : costs -> cores:int -> cycles:int -> Simrt.Counter.set -> float

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Clear Format Hashtbl List Machine Printf Report Run Simrt String Workloads

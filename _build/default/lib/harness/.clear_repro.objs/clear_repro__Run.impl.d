@@ -1,0 +1,1 @@
+lib/harness/run.ml: Energy List Machine Simrt

@@ -1,0 +1,72 @@
+(** Regeneration of every table and figure of the paper's evaluation.
+
+    [run_suite] executes all four configurations (B = requester-wins,
+    P = PowerTM, C = CLEAR/requester-wins, W = CLEAR/PowerTM) over the
+    benchmark set once; the [figN] functions derive the corresponding
+    paper artefact from that single suite, so a full reproduction costs one
+    sweep. *)
+
+type options = {
+  cores : int;
+  ops_per_thread : int;
+  seeds : int list;
+  trim : int;
+  retry_choices : int list;
+      (** the paper sweeps 1..10 and keeps the best per application *)
+}
+
+val default_options : options
+(** Paper-faithful-ish: 32 cores, 10 seeds trimmed by 3, retries 1..10.
+    Expensive. *)
+
+val quick_options : options
+(** CI-sized: fewer cores/ops/seeds, a short retry sweep. *)
+
+type suite = {
+  options : options;
+  rows : (string * (string * Run.t) list) list;
+      (** per workload, the four presets' measurements keyed by letter *)
+}
+
+val run_suite : ?workloads:Machine.Workload.t list -> ?progress:(string -> unit) -> options -> suite
+
+val config_of_letter : options -> string -> Machine.Config.t
+
+(** {1 Static artefacts} *)
+
+val table1 : unit -> Report.Table.t
+(** AR characterisation via the static mutability analysis. *)
+
+val table2 : options -> Report.Table.t
+(** System configuration. *)
+
+(** {1 Figures derived from a suite} *)
+
+val fig1 : suite -> Report.Table.t
+(** Ratio of first-retry ARs with a stable ≤ ALT footprint (measured on the
+    baseline configuration). *)
+
+val fig8 : suite -> Report.Table.t
+(** Normalised execution time. *)
+
+val fig8_discovery : suite -> Report.Table.t
+(** Companion to Figure 8: share of time spent running aborted
+    discoveries. *)
+
+val fig9 : suite -> Report.Table.t
+(** Aborts per committed transaction. *)
+
+val fig10 : suite -> Report.Table.t
+(** Normalised energy. *)
+
+val fig11 : suite -> Report.Table.t
+(** Abort breakdown per type (per committed transaction). *)
+
+val fig12 : suite -> Report.Table.t
+(** Commit breakdown per execution mode. *)
+
+val fig13 : suite -> Report.Table.t
+(** Commit breakdown per retry count (excluding 0-retry commits). *)
+
+val headline : suite -> Report.Table.t
+(** The abstract's headline numbers, paper vs. measured. *)

@@ -1,0 +1,91 @@
+module Stats = Machine.Stats
+module Summary = Simrt.Summary
+
+type t = {
+  workload : string;
+  preset : string;
+  retries : int;
+  cycles : float;
+  energy : float;
+  aborts_per_commit : float;
+  discovery_fraction : float;
+  abort_categories : (Machine.Abort.category * float) list;
+  commit_mode_fractions : (Machine.Stats.commit_mode * float) list;
+  first_try_ratio : float;
+  single_retry_ratio : float;
+  fallback_ratio : float;
+  retry_breakdown : float * float * float;
+  fig1_ratio : float;
+}
+
+let tmean ~trim xs = Summary.trimmed_mean ~trim xs
+
+let measure (cfg : Machine.Config.t) (workload : Machine.Workload.t) ~seeds ~trim =
+  let runs =
+    List.map
+      (fun seed -> Machine.Engine.run_workload (Machine.Config.with_seed cfg seed) workload)
+      seeds
+  in
+  let over f = tmean ~trim (List.map f runs) in
+  let cycles = over (fun s -> float_of_int (Stats.total_cycles s)) in
+  let energy =
+    tmean ~trim
+      (List.map
+         (fun s ->
+           Energy.Model.total Energy.Model.default ~cores:cfg.cores ~cycles:(Stats.total_cycles s)
+             (Stats.counters s))
+         runs)
+  in
+  let abort_categories =
+    List.map
+      (fun cat ->
+        ( cat,
+          over (fun s ->
+              let commits = max 1 (Stats.commits s) in
+              float_of_int (Stats.aborts_in_category s cat) /. float_of_int commits) ))
+      Machine.Abort.all_categories
+  in
+  let commit_mode_fractions =
+    List.map
+      (fun mode ->
+        ( mode,
+          over (fun s ->
+              let commits = max 1 (Stats.commits s) in
+              float_of_int (Stats.commits_in_mode s mode) /. float_of_int commits) ))
+      Machine.Stats.all_commit_modes
+  in
+  let breakdown =
+    let b1 = over (fun s -> let a, _, _ = Stats.retry_breakdown s in a) in
+    let bn = over (fun s -> let _, b, _ = Stats.retry_breakdown s in b) in
+    let bf = over (fun s -> let _, _, c = Stats.retry_breakdown s in c) in
+    (b1, bn, bf)
+  in
+  {
+    workload = workload.Machine.Workload.name;
+    preset = Machine.Config.preset_letter cfg;
+    retries = cfg.max_retries;
+    cycles;
+    energy;
+    aborts_per_commit = over Stats.aborts_per_commit;
+    discovery_fraction =
+      over (fun s ->
+          let total = max 1 (Stats.total_cycles s) * cfg.cores in
+          float_of_int (Stats.failed_discovery_cycles s) /. float_of_int total);
+    abort_categories;
+    commit_mode_fractions;
+    first_try_ratio = over Stats.first_try_ratio;
+    single_retry_ratio = over Stats.single_retry_ratio;
+    fallback_ratio = over Stats.fallback_ratio;
+    retry_breakdown = breakdown;
+    fig1_ratio = over Stats.fig1_ratio;
+  }
+
+let measure_best_retries cfg workload ~seeds ~trim ~retry_choices =
+  match retry_choices with
+  | [] -> invalid_arg "measure_best_retries: empty retry_choices"
+  | choices ->
+      let candidates =
+        List.map (fun n -> measure (Machine.Config.with_retries cfg n) workload ~seeds ~trim) choices
+      in
+      List.fold_left (fun best m -> if m.cycles < best.cycles then m else best)
+        (List.hd candidates) (List.tl candidates)

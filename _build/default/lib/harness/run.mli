@@ -1,0 +1,38 @@
+(** Multi-seed measurement of one (configuration, workload) pair.
+
+    Follows the paper's protocol: run with several seeds, report the trimmed
+    mean after removing the farthest outliers. *)
+
+type t = {
+  workload : string;
+  preset : string;  (** "B" | "P" | "C" | "W" *)
+  retries : int;  (** the retry limit the measurement used *)
+  cycles : float;
+  energy : float;
+  aborts_per_commit : float;
+  discovery_fraction : float;
+      (** share of total time spent executing aborted discoveries *)
+  abort_categories : (Machine.Abort.category * float) list;
+      (** mean aborts per committed transaction, by category *)
+  commit_mode_fractions : (Machine.Stats.commit_mode * float) list;
+  first_try_ratio : float;
+  single_retry_ratio : float;
+  fallback_ratio : float;
+  retry_breakdown : float * float * float;
+      (** among retried commits: one retry / several / fallback *)
+  fig1_ratio : float;
+}
+
+val measure :
+  Machine.Config.t -> Machine.Workload.t -> seeds:int list -> trim:int -> t
+(** One measurement at the configuration's own retry limit. *)
+
+val measure_best_retries :
+  Machine.Config.t ->
+  Machine.Workload.t ->
+  seeds:int list ->
+  trim:int ->
+  retry_choices:int list ->
+  t
+(** The paper's methodology: sweep the retry limit and keep the
+    best-performing setting for this (configuration, application) pair. *)

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Asm Format Instr List Printf String

@@ -1,0 +1,1 @@
+lib/isa/program.mli: Asm Format Instr

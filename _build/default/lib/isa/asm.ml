@@ -1,0 +1,69 @@
+type label = int
+
+(* Emitted instructions hold label ids in branch targets; [assemble] patches
+   them to instruction indices. *)
+type t = {
+  mutable instrs : Instr.t list; (* reversed *)
+  mutable count : int;
+  mutable next_label : int;
+  positions : (label, int) Hashtbl.t;
+}
+
+let create () = { instrs = []; count = 0; next_label = 0; positions = Hashtbl.create 8 }
+
+let new_label t =
+  let l = t.next_label in
+  t.next_label <- t.next_label + 1;
+  l
+
+let place t l =
+  if Hashtbl.mem t.positions l then invalid_arg "Asm.place: label already placed";
+  Hashtbl.add t.positions l t.count
+
+let emit t i =
+  t.instrs <- i :: t.instrs;
+  t.count <- t.count + 1
+
+let ld t ~dst ~base ?(off = 0) ?(region = "") () = emit t (Instr.Ld { dst; base; off; region })
+
+let st t ~base ?(off = 0) ~src ?(region = "") () = emit t (Instr.St { base; off; src; region })
+
+let mov t ~dst src = emit t (Instr.Mov { dst; src })
+
+let binop t op ~dst a b = emit t (Instr.Binop { op; dst; a; b })
+
+let add t ~dst a b = binop t Instr.Add ~dst a b
+
+let sub t ~dst a b = binop t Instr.Sub ~dst a b
+
+let mul t ~dst a b = binop t Instr.Mul ~dst a b
+
+let brc t cond a b target = emit t (Instr.Br { cond; a; b; target })
+
+let jmp t target = emit t (Instr.Jmp target)
+
+let nop t = emit t Instr.Nop
+
+let halt t = emit t Instr.Halt
+
+let length t = t.count
+
+let assemble t =
+  let resolve l =
+    match Hashtbl.find_opt t.positions l with
+    | Some pos -> pos
+    | None -> invalid_arg (Printf.sprintf "Asm.assemble: label %d never placed" l)
+  in
+  let body =
+    List.rev_map
+      (fun instr ->
+        match instr with
+        | Instr.Br b -> Instr.Br { b with target = resolve b.target }
+        | Instr.Jmp l -> Instr.Jmp (resolve l)
+        | Instr.Ld _ | Instr.St _ | Instr.Mov _ | Instr.Binop _ | Instr.Nop | Instr.Halt -> instr)
+      t.instrs
+    |> Array.of_list
+  in
+  match Instr.validate body with
+  | Ok () -> body
+  | Error msg -> invalid_arg ("Asm.assemble: " ^ msg)

@@ -1,0 +1,58 @@
+(** Assembler eDSL for writing atomic-region bodies.
+
+    Workloads build AR bodies through this mutable buffer: emit instructions,
+    create and place labels, then {!assemble} resolves label references into
+    instruction indices and validates the result.
+
+    {[
+      let b = Asm.create () in
+      let loop = Asm.new_label b in
+      Asm.mov b ~dst:1 (Imm 0);
+      Asm.place b loop;
+      Asm.ld b ~dst:2 ~base:(Reg 0) ~region:"node.next" ();
+      Asm.brc b Ne (Reg 2) (Imm 0) loop;
+      Asm.halt b;
+      let body = Asm.assemble b
+    ]} *)
+
+type t
+
+type label
+
+val create : unit -> t
+
+val new_label : t -> label
+
+val place : t -> label -> unit
+(** Bind the label to the next emitted instruction. A label must be placed
+    exactly once before {!assemble}. *)
+
+val ld : t -> dst:Instr.reg -> base:Instr.operand -> ?off:int -> ?region:string -> unit -> unit
+
+val st : t -> base:Instr.operand -> ?off:int -> src:Instr.operand -> ?region:string -> unit -> unit
+
+val mov : t -> dst:Instr.reg -> Instr.operand -> unit
+
+val binop : t -> Instr.binop -> dst:Instr.reg -> Instr.operand -> Instr.operand -> unit
+
+val add : t -> dst:Instr.reg -> Instr.operand -> Instr.operand -> unit
+
+val sub : t -> dst:Instr.reg -> Instr.operand -> Instr.operand -> unit
+
+val mul : t -> dst:Instr.reg -> Instr.operand -> Instr.operand -> unit
+
+val brc : t -> Instr.cond -> Instr.operand -> Instr.operand -> label -> unit
+(** Conditional branch to a label. *)
+
+val jmp : t -> label -> unit
+
+val nop : t -> unit
+
+val halt : t -> unit
+
+val length : t -> int
+(** Instructions emitted so far. *)
+
+val assemble : t -> Instr.t array
+(** Resolve labels and validate. Raises [Invalid_argument] on unplaced labels
+    or validation failure. The buffer must not be reused afterwards. *)

@@ -1,0 +1,55 @@
+(** The mini-ISA in which atomic-region bodies are written.
+
+    A small RISC-like register machine: 32 integer registers, word-addressed
+    loads/stores, ALU operations, conditional branches. Values are OCaml
+    [int]s (63 bits) — wide enough for every workload, and pointers stored in
+    memory are plain word addresses.
+
+    Loads and stores may carry a [region] tag: a free-form name for the
+    logical object they touch (e.g. ["list.next"], ["wallets"]). Regions are
+    pure metadata — execution ignores them — but the static mutability
+    analysis (paper Table 1) uses them to decide whether the values feeding an
+    indirection can be written by concurrent atomic regions. *)
+
+type reg = int
+(** Register index in [\[0, num_regs)]. *)
+
+val num_regs : int
+(** 32 architectural registers. *)
+
+type operand = Reg of reg | Imm of int
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Min | Max
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Ld of { dst : reg; base : operand; off : int; region : string }
+      (** [dst <- M\[base + off\]] *)
+  | St of { base : operand; off : int; src : operand; region : string }
+      (** [M\[base + off\] <- src] *)
+  | Mov of { dst : reg; src : operand }
+  | Binop of { op : binop; dst : reg; a : operand; b : operand }
+  | Br of { cond : cond; a : operand; b : operand; target : int }
+      (** Jump to instruction index [target] when the comparison holds. *)
+  | Jmp of int
+  | Nop
+  | Halt  (** End of the atomic region body. *)
+
+val eval_binop : binop -> int -> int -> int
+(** Two's-complement-ish semantics on OCaml ints; division by zero yields 0
+    (the simulated machine does not fault). *)
+
+val eval_cond : cond -> int -> int -> bool
+
+val base_cost : t -> int
+(** Execution cycles excluding memory latency (charged separately for
+    loads/stores). *)
+
+val is_mem : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val validate : t array -> (unit, string) result
+(** Check register indices and branch targets are in range and the body ends
+    in (or contains) [Halt]. *)

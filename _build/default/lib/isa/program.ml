@@ -1,0 +1,34 @@
+type ar = { id : int; name : string; body : Instr.t array }
+
+let make_ar ~id ~name body =
+  (match Instr.validate body with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Program.make_ar %s: %s" name msg));
+  { id; name; body }
+
+let build_ar ~id ~name f =
+  let b = Asm.create () in
+  f b;
+  make_ar ~id ~name (Asm.assemble b)
+
+let instruction_count ar = Array.length ar.body
+
+let store_count ar =
+  Array.fold_left
+    (fun n i -> match i with Instr.St _ -> n + 1 | _ -> n)
+    0 ar.body
+
+let dedup_sorted xs = List.sort_uniq String.compare xs
+
+let regions_written ar =
+  Array.fold_left (fun acc i -> match i with Instr.St { region; _ } -> region :: acc | _ -> acc) [] ar.body
+  |> dedup_sorted
+
+let regions_read ar =
+  Array.fold_left (fun acc i -> match i with Instr.Ld { region; _ } -> region :: acc | _ -> acc) [] ar.body
+  |> dedup_sorted
+
+let pp ppf ar =
+  Format.fprintf ppf "@[<v>AR %d (%s):@," ar.id ar.name;
+  Array.iteri (fun i instr -> Format.fprintf ppf "  %3d: %a@," i Instr.pp instr) ar.body;
+  Format.fprintf ppf "@]"

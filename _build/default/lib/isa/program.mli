@@ -1,0 +1,25 @@
+(** Atomic-region containers.
+
+    An {!ar} is one atomic region: a named, validated mini-ISA body. Its
+    [id] plays the role of the region's program counter — it is the key the
+    ERT uses to recognise re-invocations of the same region. *)
+
+type ar = private { id : int; name : string; body : Instr.t array }
+
+val make_ar : id:int -> name:string -> Instr.t array -> ar
+(** Validates the body; raises [Invalid_argument] if ill-formed. *)
+
+val build_ar : id:int -> name:string -> (Asm.t -> unit) -> ar
+(** Convenience: run the builder function on a fresh assembler buffer. *)
+
+val instruction_count : ar -> int
+
+val store_count : ar -> int
+(** Static number of store instructions in the body (not dynamic). *)
+
+val regions_written : ar -> string list
+(** Region tags of all stores, deduplicated, sorted. *)
+
+val regions_read : ar -> string list
+
+val pp : Format.formatter -> ar -> unit

@@ -1,0 +1,1 @@
+lib/machine/conflict_map.ml: Hashtbl List Mem

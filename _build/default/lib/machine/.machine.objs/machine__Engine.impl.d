@@ -1,0 +1,1 @@
+lib/machine/engine.ml: Abort Array Clear Config Conflict_map Fallback_lock Hashtbl Isa List Mem Printf Regfile Simrt Stats String Trace Txn Workload

@@ -1,0 +1,1 @@
+lib/machine/engine.mli: Config Mem Stats Trace Workload

@@ -1,0 +1,1 @@
+lib/machine/fallback_lock.mli:

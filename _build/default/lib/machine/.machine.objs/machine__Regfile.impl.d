@@ -1,0 +1,1 @@
+lib/machine/regfile.ml: Array Clear Isa List

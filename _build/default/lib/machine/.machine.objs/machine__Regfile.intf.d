@@ -1,0 +1,1 @@
+lib/machine/regfile.mli: Clear Isa

@@ -1,0 +1,1 @@
+lib/machine/stats.ml: Abort Array Hashtbl List Simrt

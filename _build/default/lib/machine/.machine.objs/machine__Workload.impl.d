@@ -1,0 +1,1 @@
+lib/machine/workload.ml: Isa List Mem Simrt

@@ -1,0 +1,1 @@
+lib/machine/workload.mli: Isa Mem Simrt

@@ -1,0 +1,74 @@
+(** Simulated-machine configuration (paper Table 2 plus CLEAR knobs).
+
+    The four named presets correspond to the paper's evaluated
+    configurations: requester-wins ([baseline], "B"), PowerTM ([power_tm],
+    "P"), CLEAR over requester-wins ([clear_rw], "C") and CLEAR over PowerTM
+    ([clear_power], "W"). *)
+
+type htm_policy = Requester_wins | Power_tm
+
+type frontend =
+  | Htm  (** out-of-core speculation: TSX-like transactions, single global
+             fallback lock (paper §4.4) *)
+  | Sle  (** in-core speculation: lock elision bounded by the ROB/SQ window,
+             fallback acquires the region's own lock (paper §4.1/§4.3) *)
+
+type t = {
+  cores : int;
+  mem_params : Mem.Params.t;
+  memory_words : int;
+  (* Core resources (Table 2) *)
+  rob_entries : int;
+  lq_entries : int;
+  sq_entries : int;
+  (* Speculation *)
+  frontend : frontend;
+  policy : htm_policy;
+  max_retries : int;  (** memory-conflict retries before the fallback path *)
+  xbegin_cost : int;  (** cycles *)
+  xend_cost : int;
+  abort_penalty : int;  (** pipeline flush + checkpoint restore *)
+  spin_cycles : int;  (** fallback-lock polling interval *)
+  (* CLEAR *)
+  clear_enabled : bool;
+  ert_entries : int;
+  alt_capacity : int;
+  crt_entries : int;
+  crt_ways : int;
+  failed_mode_discovery : bool;
+      (** continue discovery after a conflict (ablation knob; paper §4.1) *)
+  use_crt : bool;  (** lock previously-conflicting reads in S-CL (§4.4.2) *)
+  crt_decay : bool;
+      (** drop a CRT entry once an S-CL that locked it commits; prevents hot
+          shared read lines from convoying every later S-CL (ablation knob) *)
+  (* Workload pacing *)
+  think_cycles : int;  (** non-AR work between operations *)
+  ops_per_thread : int;
+  seed : int;
+}
+
+val default : t
+(** 32 cores, Icelake-like hierarchy, requester-wins, CLEAR off. *)
+
+val baseline : t
+
+val power_tm : t
+
+val clear_rw : t
+
+val clear_power : t
+
+val with_frontend : t -> frontend -> t
+(** Switch speculation front-end, keeping everything else. *)
+
+val preset_letter : t -> string
+(** "B", "P", "C" or "W" (best-effort match on policy/clear flags). *)
+
+val with_retries : t -> int -> t
+
+val with_cores : t -> int -> t
+
+val with_seed : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump used to print Table 2. *)

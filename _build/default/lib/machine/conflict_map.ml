@@ -1,0 +1,49 @@
+type entry = { mutable readers : int; mutable writers : int }
+
+type t = { cores : int; map : (Mem.Addr.line, entry) Hashtbl.t }
+
+let create ~cores = { cores; map = Hashtbl.create 1024 }
+
+let entry t line =
+  match Hashtbl.find_opt t.map line with
+  | Some e -> e
+  | None ->
+      let e = { readers = 0; writers = 0 } in
+      Hashtbl.add t.map line e;
+      e
+
+let bit core = 1 lsl core
+
+let add_reader t ~core line =
+  let e = entry t line in
+  e.readers <- e.readers lor bit core
+
+let add_writer t ~core line =
+  let e = entry t line in
+  e.writers <- e.writers lor bit core
+
+let remove_core t ~core ~lines =
+  let mask = lnot (bit core) in
+  List.iter
+    (fun line ->
+      match Hashtbl.find_opt t.map line with
+      | None -> ()
+      | Some e ->
+          e.readers <- e.readers land mask;
+          e.writers <- e.writers land mask;
+          if e.readers = 0 && e.writers = 0 then Hashtbl.remove t.map line)
+    lines
+
+let readers t line = match Hashtbl.find_opt t.map line with Some e -> e.readers | None -> 0
+
+let writers t line = match Hashtbl.find_opt t.map line with Some e -> e.writers | None -> 0
+
+let cores_of t mask ~excluding =
+  let rec loop c acc = if c < 0 then acc else loop (c - 1) (if mask land (1 lsl c) <> 0 && c <> excluding then c :: acc else acc) in
+  loop (t.cores - 1) []
+
+let conflicting_readers t ~core line = cores_of t (readers t line) ~excluding:core
+
+let conflicting_writers t ~core line = cores_of t (writers t line) ~excluding:core
+
+let clear t = Hashtbl.reset t.map

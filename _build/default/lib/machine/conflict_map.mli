@@ -1,0 +1,32 @@
+(** Global view of speculative sharers, the conflict-detection substrate.
+
+    Maps each line to the bitmask of cores currently holding it in their
+    speculative read or write set. Conceptually this is the information the
+    directory derives from coherence requests; centralising it keeps the
+    eager conflict checks O(1). Cores whose discovery entered failed mode
+    withdraw their entries — their accesses are flagged non-aborting and must
+    not generate new conflicts (paper §4.1). *)
+
+type t
+
+val create : cores:int -> t
+
+val add_reader : t -> core:int -> Mem.Addr.line -> unit
+
+val add_writer : t -> core:int -> Mem.Addr.line -> unit
+
+val remove_core : t -> core:int -> lines:Mem.Addr.line list -> unit
+(** Withdraw [core] from the given lines (commit, abort or failed-mode
+    entry). *)
+
+val readers : t -> Mem.Addr.line -> int
+(** Bitmask of speculative readers. *)
+
+val writers : t -> Mem.Addr.line -> int
+
+val conflicting_readers : t -> core:int -> Mem.Addr.line -> int list
+(** Cores other than [core] with the line in their read set. *)
+
+val conflicting_writers : t -> core:int -> Mem.Addr.line -> int list
+
+val clear : t -> unit

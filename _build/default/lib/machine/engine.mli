@@ -1,0 +1,40 @@
+(** The simulated multicore: event loop, HTM semantics and CLEAR modes.
+
+    One engine simulates one run: [cores] threads each executing
+    [ops_per_thread] operations of a workload. Per-core clocks advance
+    through a global event heap at instruction granularity; everything is
+    deterministic given the configuration seed.
+
+    Execution of one atomic region follows the paper:
+
+    - attempt 0 runs speculatively and, under CLEAR, doubles as discovery
+      (footprint into the ALT, indirection bits, SQ pressure);
+    - on a conflict the discovery continues in failed mode to the region's
+      end, then the decision tree picks NS-CL, S-CL or a plain retry;
+    - NS-CL/S-CL read-lock the fallback lock and acquire cacheline locks in
+      lexicographical (directory-set) order; requests reaching a remotely
+      locked line follow the deadlock-avoidance protocol of paper Figures 5
+      and 6 — plain speculative requesters stall and re-issue, S-CL
+      requesters (which hold locks) are nacked and abort;
+    - after [max_retries] counted retries the fallback path takes the
+      fallback lock exclusively (the single global lock under HTM, the
+      region's own mutex under SLE). *)
+
+type t
+
+val create : ?trace:Trace.t -> Config.t -> Workload.t -> t
+(** Builds the machine, allocates the backing store and runs the workload's
+    [setup]. When [trace] is given, per-core lifecycle events are recorded
+    into it. *)
+
+val run : ?max_cycles:int -> t -> Stats.t
+(** Simulate until every thread finished its operations. Raises [Failure] if
+    [max_cycles] (default 4e9) elapse first — a livelock guard, not an
+    expected outcome. The returned statistics include the total cycle count
+    of the parallel phase. *)
+
+val store : t -> Mem.Store.t
+(** The backing store, for post-run invariant checks in tests. *)
+
+val run_workload : Config.t -> Workload.t -> Stats.t
+(** [create] + [run]. *)

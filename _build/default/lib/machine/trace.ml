@@ -1,0 +1,56 @@
+type kind =
+  | Begin_attempt of { attempt : int; mode : string }
+  | Enter_failed_mode
+  | Converted of string
+  | Locked of Mem.Addr.line
+  | Commit of { mode : string; retries : int }
+  | Aborted of Abort.cause
+  | Stalled of Mem.Addr.line
+
+type event = { time : int; core : int; ar : string; kind : kind }
+
+type t = { ring : event option array; mutable next : int; mutable total : int }
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time ~core ~ar kind =
+  t.ring.(t.next) <- Some { time; core; ar; kind };
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let events t =
+  let n = Array.length t.ring in
+  let rec collect i acc =
+    if i = n then List.rev acc
+    else
+      let idx = (t.next + i) mod n in
+      collect (i + 1) (match t.ring.(idx) with Some e -> e :: acc | None -> acc)
+  in
+  collect 0 []
+
+let recorded t = t.total
+
+let kind_to_string = function
+  | Begin_attempt { attempt; mode } -> Printf.sprintf "begin attempt %d (%s)" attempt mode
+  | Enter_failed_mode -> "enter failed-mode discovery"
+  | Converted mode -> "converted: retry as " ^ mode
+  | Locked line -> Printf.sprintf "locked line %d" line
+  | Commit { mode; retries } -> Printf.sprintf "commit (%s, %d retries)" mode retries
+  | Aborted cause -> "abort: " ^ Abort.cause_name cause
+  | Stalled line -> Printf.sprintf "stalled on locked line %d" line
+
+let pp_event ppf e =
+  Format.fprintf ppf "@[%8d core%-3d %-18s %s@]" e.time e.core e.ar (kind_to_string e.kind)
+
+let dump ?limit t ppf =
+  let all = events t in
+  let all =
+    match limit with
+    | None -> all
+    | Some n ->
+        let len = List.length all in
+        if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+  in
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) all

@@ -1,0 +1,78 @@
+type t = {
+  read_set : (Mem.Addr.line, unit) Hashtbl.t;
+  write_set : (Mem.Addr.line, unit) Hashtbl.t;
+  buffer : (Mem.Addr.t, int) Hashtbl.t;
+  mutable log : (Mem.Addr.t * int) list; (* program order, reversed *)
+  mutable stores : int;
+  mutable active : bool;
+  mutable power : bool;
+}
+
+let create () =
+  {
+    read_set = Hashtbl.create 64;
+    write_set = Hashtbl.create 64;
+    buffer = Hashtbl.create 64;
+    log = [];
+    stores = 0;
+    active = false;
+    power = false;
+  }
+
+let reset t =
+  Hashtbl.reset t.read_set;
+  Hashtbl.reset t.write_set;
+  Hashtbl.reset t.buffer;
+  t.log <- [];
+  t.stores <- 0;
+  t.active <- false;
+  t.power <- false
+
+let active t = t.active
+
+let start t =
+  reset t;
+  t.active <- true
+
+let read_line t line = Hashtbl.replace t.read_set line ()
+
+let write_line t line = Hashtbl.replace t.write_set line ()
+
+let in_read_set t line = Hashtbl.mem t.read_set line
+
+let in_write_set t line = Hashtbl.mem t.write_set line
+
+let in_either_set t line = in_read_set t line || in_write_set t line
+
+let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let read_set t = keys t.read_set
+
+let write_set t = keys t.write_set
+
+let footprint t =
+  let all = Hashtbl.copy t.read_set in
+  Hashtbl.iter (fun k () -> Hashtbl.replace all k ()) t.write_set;
+  keys all
+
+let footprint_size t =
+  let extra = Hashtbl.fold (fun k () n -> if Hashtbl.mem t.read_set k then n else n + 1) t.write_set 0 in
+  Hashtbl.length t.read_set + extra
+
+let buffer_store t addr v =
+  Hashtbl.replace t.buffer addr v;
+  t.log <- (addr, v) :: t.log;
+  t.stores <- t.stores + 1
+
+let forwarded t addr = Hashtbl.find_opt t.buffer addr
+
+let store_count t = t.stores
+
+let drain t store =
+  let ordered = List.rev t.log in
+  List.iter (fun (addr, v) -> Mem.Store.write store addr v) ordered;
+  List.length ordered
+
+let power t = t.power
+
+let set_power t p = t.power <- p

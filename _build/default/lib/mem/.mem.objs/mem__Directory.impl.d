@@ -1,0 +1,1 @@
+lib/mem/directory.ml: Addr Hashtbl List

@@ -1,0 +1,1 @@
+lib/mem/hierarchy.ml: Addr Array Cache Directory List Params Simrt Store

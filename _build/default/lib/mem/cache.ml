@@ -1,0 +1,94 @@
+type t = {
+  sets : int;
+  ways : int;
+  tags : int array; (* sets * ways; -1 = empty *)
+  age : int array; (* parallel to tags: larger = more recently used *)
+  mutable tick : int;
+}
+
+let create ~sets ~ways =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  if ways <= 0 then invalid_arg "Cache.create: ways must be positive";
+  { sets; ways; tags = Array.make (sets * ways) (-1); age = Array.make (sets * ways) 0; tick = 0 }
+
+let sets t = t.sets
+
+let ways t = t.ways
+
+let set_of t line = line land (t.sets - 1)
+
+let find_way t line =
+  let base = set_of t line * t.ways in
+  let rec loop w = if w = t.ways then None else if t.tags.(base + w) = line then Some (base + w) else loop (w + 1) in
+  loop 0
+
+let mem t line = find_way t line <> None
+
+let bump t i =
+  t.tick <- t.tick + 1;
+  t.age.(i) <- t.tick
+
+let touch t line =
+  match find_way t line with
+  | Some i ->
+      bump t i;
+      true
+  | None -> false
+
+let insert t line =
+  match find_way t line with
+  | Some i ->
+      bump t i;
+      None
+  | None ->
+      let base = set_of t line * t.ways in
+      (* Prefer an empty way; otherwise evict the LRU way. *)
+      let victim = ref base in
+      let found_empty = ref false in
+      for w = 0 to t.ways - 1 do
+        let i = base + w in
+        if (not !found_empty) && t.tags.(i) = -1 then begin
+          victim := i;
+          found_empty := true
+        end
+        else if (not !found_empty) && t.age.(i) < t.age.(!victim) then victim := i
+      done;
+      let evicted = t.tags.(!victim) in
+      t.tags.(!victim) <- line;
+      bump t !victim;
+      if evicted = -1 then None else Some evicted
+
+let invalidate t line =
+  match find_way t line with
+  | Some i ->
+      t.tags.(i) <- -1;
+      t.age.(i) <- 0;
+      true
+  | None -> false
+
+let lines_in_set_of t line =
+  let base = set_of t line * t.ways in
+  let n = ref 0 in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) <> -1 then incr n
+  done;
+  !n
+
+let would_fit t lines =
+  let per_set = Hashtbl.create 16 in
+  List.for_all
+    (fun line ->
+      let s = set_of t line in
+      let n = match Hashtbl.find_opt per_set s with Some r -> r | None -> 0 in
+      Hashtbl.replace per_set s (n + 1);
+      n + 1 <= t.ways)
+    lines
+
+let iter t f =
+  Array.iter (fun tag -> if tag <> -1 then f tag) t.tags
+
+let clear t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.age 0 (Array.length t.age) 0;
+  t.tick <- 0

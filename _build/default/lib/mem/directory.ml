@@ -1,0 +1,122 @@
+type entry = {
+  mutable owner : int; (* core holding M/E, -1 if none *)
+  mutable sharers : int; (* bitmask of cores with S copies (excludes owner) *)
+  mutable locked_by : int; (* -1 if unlocked *)
+}
+
+type t = { cores : int; entries : (Addr.line, entry) Hashtbl.t; locked : (int, (Addr.line, unit) Hashtbl.t) Hashtbl.t }
+
+type coherence = { msgs : int; from_remote : bool }
+
+let create ~cores =
+  if cores <= 0 || cores > 62 then invalid_arg "Directory.create: cores must be in [1, 62]";
+  { cores; entries = Hashtbl.create 4096; locked = Hashtbl.create 16 }
+
+let cores t = t.cores
+
+let entry t line =
+  match Hashtbl.find_opt t.entries line with
+  | Some e -> e
+  | None ->
+      let e = { owner = -1; sharers = 0; locked_by = -1 } in
+      Hashtbl.add t.entries line e;
+      e
+
+let bit core = 1 lsl core
+
+let read t ~core line =
+  let e = entry t line in
+  if e.owner = core then { msgs = 0; from_remote = false }
+  else if e.sharers land bit core <> 0 then { msgs = 0; from_remote = false }
+  else if e.owner >= 0 then begin
+    (* Downgrade the remote owner to a sharer; data forwarded core-to-core. *)
+    e.sharers <- e.sharers lor bit e.owner lor bit core;
+    e.owner <- -1;
+    { msgs = 3; from_remote = true }
+  end
+  else begin
+    e.sharers <- e.sharers lor bit core;
+    { msgs = 2; from_remote = false }
+  end
+
+let write t ~core line =
+  let e = entry t line in
+  if e.owner = core && e.sharers = 0 then ({ msgs = 0; from_remote = false }, [])
+  else begin
+    let invalidated = ref [] in
+    if e.owner >= 0 && e.owner <> core then invalidated := [ e.owner ];
+    for c = t.cores - 1 downto 0 do
+      if c <> core && e.sharers land bit c <> 0 then invalidated := c :: !invalidated
+    done;
+    let from_remote = e.owner >= 0 && e.owner <> core in
+    let msgs = 2 + List.length !invalidated in
+    e.owner <- core;
+    e.sharers <- 0;
+    ({ msgs; from_remote }, !invalidated)
+  end
+
+let drop_core t ~core line =
+  match Hashtbl.find_opt t.entries line with
+  | None -> ()
+  | Some e ->
+      if e.owner = core then e.owner <- -1;
+      e.sharers <- e.sharers land lnot (bit core)
+
+let owner t line =
+  match Hashtbl.find_opt t.entries line with
+  | Some e when e.owner >= 0 -> Some e.owner
+  | Some _ | None -> None
+
+let is_sharer t ~core line =
+  match Hashtbl.find_opt t.entries line with
+  | Some e -> e.owner = core || e.sharers land bit core <> 0
+  | None -> false
+
+let locked_table t core =
+  match Hashtbl.find_opt t.locked core with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.add t.locked core tbl;
+      tbl
+
+let lock t ~core line =
+  let e = entry t line in
+  if e.locked_by = core then `Acquired []
+  else if e.locked_by >= 0 then `Held_by e.locked_by
+  else begin
+    (* Locking implies exclusivity: steal ownership, drop other sharers. *)
+    let _coh, invalidated = write t ~core line in
+    e.locked_by <- core;
+    Hashtbl.replace (locked_table t core) line ();
+    `Acquired invalidated
+  end
+
+let unlock t ~core line =
+  match Hashtbl.find_opt t.entries line with
+  | Some e when e.locked_by = core ->
+      e.locked_by <- -1;
+      Hashtbl.remove (locked_table t core) line
+  | Some _ | None -> ()
+
+let locked_lines t ~core =
+  match Hashtbl.find_opt t.locked core with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun line () acc -> line :: acc) tbl [] |> List.sort compare
+
+let unlock_all t ~core =
+  match Hashtbl.find_opt t.locked core with
+  | None -> ()
+  | Some tbl ->
+      Hashtbl.iter
+        (fun line () ->
+          match Hashtbl.find_opt t.entries line with
+          | Some e when e.locked_by = core -> e.locked_by <- -1
+          | Some _ | None -> ())
+        tbl;
+      Hashtbl.reset tbl
+
+let locked_by t line =
+  match Hashtbl.find_opt t.entries line with
+  | Some e when e.locked_by >= 0 -> Some e.locked_by
+  | Some _ | None -> None

@@ -1,0 +1,150 @@
+module Counter = Simrt.Counter
+
+type t = {
+  params : Params.t;
+  store : Store.t;
+  directory : Directory.t;
+  l1s : Cache.t array;
+  l2s : Cache.t array;
+  l3 : Cache.t;
+  counters : Counter.set;
+}
+
+type outcome = { latency : int; l1_evicted : Addr.line list }
+
+let create params ~cores ~store ~counters =
+  {
+    params;
+    store;
+    directory = Directory.create ~cores;
+    l1s = Array.init cores (fun _ -> Cache.create ~sets:params.Params.l1_sets ~ways:params.Params.l1_ways);
+    l2s = Array.init cores (fun _ -> Cache.create ~sets:params.Params.l2_sets ~ways:params.Params.l2_ways);
+    l3 = Cache.create ~sets:params.Params.l3_sets ~ways:params.Params.l3_ways;
+    counters;
+  }
+
+let params t = t.params
+
+let store t = t.store
+
+let directory t = t.directory
+
+let l1 t ~core = t.l1s.(core)
+
+let locked_by t line = Directory.locked_by t.directory line
+
+(* Install [line] in [core]'s private caches, spilling L1 victims into L2 and
+   dropping L2 victims from the directory when they are no longer cached
+   privately. Returns the L1 victims. *)
+let install_private t ~core line =
+  let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
+  let evicted = ref [] in
+  (match Cache.insert l1 line with
+  | None -> ()
+  | Some victim ->
+      evicted := [ victim ];
+      (match Cache.insert l2 victim with
+      | None -> ()
+      | Some l2_victim ->
+          if not (Cache.mem l1 l2_victim) then Directory.drop_core t.directory ~core l2_victim));
+  ignore (Cache.insert l2 line : Addr.line option);
+  !evicted
+
+let charge_coherence t (coh : Directory.coherence) =
+  Counter.add t.counters "coh_msgs" coh.msgs;
+  if coh.from_remote then Counter.incr t.counters "remote_transfer";
+  (coh.msgs * t.params.Params.coherence_msg / 4)
+  + if coh.from_remote then t.params.Params.remote_transfer else 0
+
+let invalidate_remote t line cores =
+  List.iter
+    (fun c ->
+      ignore (Cache.invalidate t.l1s.(c) line : bool);
+      ignore (Cache.invalidate t.l2s.(c) line : bool))
+    cores
+
+let access t ~core line ~exclusive =
+  let p = t.params in
+  if locked_by t line = Some core then begin
+    (* Pinned by our own cacheline lock: guaranteed L1-latency hit. *)
+    Counter.incr t.counters "l1_hit";
+    { latency = Params.load_latency p ~level:`L1; l1_evicted = [] }
+  end
+  else begin
+    let dir = t.directory in
+    let coh, invalidated =
+      if exclusive then Directory.write dir ~core line
+      else (Directory.read dir ~core line, [])
+    in
+    invalidate_remote t line invalidated;
+    let coh_latency = charge_coherence t coh in
+    let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
+    (* An exclusive access that had to invalidate other copies pays the
+       coherence round-trip even if its own tags hit. *)
+    if Cache.touch l1 line && coh.msgs = 0 then begin
+      Counter.incr t.counters "l1_hit";
+      { latency = Params.load_latency p ~level:`L1; l1_evicted = [] }
+    end
+    else if Cache.touch l2 line && not coh.from_remote then begin
+      Counter.incr t.counters "l2_hit";
+      let evicted = install_private t ~core line in
+      { latency = Params.load_latency p ~level:`L2 + coh_latency; l1_evicted = evicted }
+    end
+    else begin
+      let level =
+        if coh.from_remote then begin
+          Counter.incr t.counters "l3_hit";
+          `L3
+        end
+        else if Cache.touch t.l3 line then begin
+          Counter.incr t.counters "l3_hit";
+          `L3
+        end
+        else begin
+          Counter.incr t.counters "mem_access";
+          `Mem
+        end
+      in
+      ignore (Cache.insert t.l3 line : Addr.line option);
+      let evicted = install_private t ~core line in
+      { latency = Params.load_latency p ~level + coh_latency; l1_evicted = evicted }
+    end
+  end
+
+let read_line t ~core line =
+  match locked_by t line with
+  | Some holder when holder <> core ->
+      (* Callers must check the lock first; reading through a remote lock
+         would violate atomicity. *)
+      invalid_arg "Hierarchy.read_line: line locked by another core"
+  | Some _ | None -> access t ~core line ~exclusive:false
+
+let write_line t ~core line =
+  match locked_by t line with
+  | Some holder when holder <> core -> invalid_arg "Hierarchy.write_line: line locked by another core"
+  | Some _ | None -> access t ~core line ~exclusive:true
+
+let lock_line t ~core line =
+  match Directory.lock t.directory ~core line with
+  | `Held_by holder -> `Held_by holder
+  | `Acquired invalidated ->
+      invalidate_remote t line invalidated;
+      Counter.incr t.counters "line_locks";
+      Counter.add t.counters "coh_msgs" 2;
+      let evicted = install_private t ~core line in
+      let transfer = if invalidated <> [] then t.params.Params.remote_transfer else 0 in
+      `Acquired { latency = t.params.Params.coherence_msg + transfer; l1_evicted = evicted }
+
+let unlock_line t ~core line = Directory.unlock t.directory ~core line
+
+let unlock_all t ~core =
+  let lines = Directory.locked_lines t.directory ~core in
+  Directory.unlock_all t.directory ~core;
+  Counter.add t.counters "coh_msgs" (if lines = [] then 0 else 1);
+  List.length lines
+
+let flush_core t ~core =
+  Cache.iter t.l1s.(core) (fun line -> Directory.drop_core t.directory ~core line);
+  Cache.iter t.l2s.(core) (fun line -> Directory.drop_core t.directory ~core line);
+  Cache.clear t.l1s.(core);
+  Cache.clear t.l2s.(core)

@@ -1,0 +1,45 @@
+(** Three-level cache hierarchy glued to the MESI directory.
+
+    Private L1/L2 per core, shared L3, all tag-only (data lives in the
+    backing {!Store}). Accesses return the latency to charge and the lines the
+    access evicted from the requesting core's L1 — the machine uses the latter
+    for HTM capacity aborts. Lines locked by the requesting core hit with L1
+    latency regardless of tag state (locked lines are pinned). *)
+
+type t
+
+type outcome = {
+  latency : int;  (** cycles to charge the requesting instruction *)
+  l1_evicted : Addr.line list;
+      (** lines this access pushed out of the requester's L1 *)
+}
+
+val create : Params.t -> cores:int -> store:Store.t -> counters:Simrt.Counter.set -> t
+
+val params : t -> Params.t
+
+val store : t -> Store.t
+
+val directory : t -> Directory.t
+
+val l1 : t -> core:int -> Cache.t
+
+val read_line : t -> core:int -> Addr.line -> outcome
+(** Obtain a shared copy of the line for [core]. *)
+
+val write_line : t -> core:int -> Addr.line -> outcome
+(** Obtain an exclusive copy for [core], invalidating remote copies. *)
+
+val lock_line : t -> core:int -> Addr.line -> [ `Acquired of outcome | `Held_by of int ]
+(** Attempt to lock a line (exclusive + pinned). Fails without side effects
+    when another core holds the lock. *)
+
+val unlock_line : t -> core:int -> Addr.line -> unit
+
+val unlock_all : t -> core:int -> int
+(** Bulk-unlock every line held by [core]; returns the number released. *)
+
+val locked_by : t -> Addr.line -> int option
+
+val flush_core : t -> core:int -> unit
+(** Drop all of [core]'s private-cache contents (used by tests). *)

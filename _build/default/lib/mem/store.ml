@@ -1,0 +1,20 @@
+type t = int array
+
+let create ~words = Array.make words 0
+
+let size t = Array.length t
+
+let read t a =
+  if a < 0 || a >= Array.length t then
+    invalid_arg (Printf.sprintf "Store.read: address %d out of bounds" a);
+  t.(a)
+
+let write t a v =
+  if a < 0 || a >= Array.length t then
+    invalid_arg (Printf.sprintf "Store.write: address %d out of bounds" a);
+  t.(a) <- v
+
+let fill t a ~len v =
+  for i = a to a + len - 1 do
+    write t i v
+  done

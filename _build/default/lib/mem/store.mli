@@ -1,0 +1,19 @@
+(** Flat backing store: the simulated machine's physical memory.
+
+    One 63-bit OCaml int per 64-bit word. Workload values fit comfortably;
+    addresses stored in memory (pointers) are plain word addresses. *)
+
+type t
+
+val create : words:int -> t
+(** Zero-initialised memory of [words] words. *)
+
+val size : t -> int
+
+val read : t -> Addr.t -> int
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val write : t -> Addr.t -> int -> unit
+
+val fill : t -> Addr.t -> len:int -> int -> unit
+(** [fill t a ~len v] writes [v] to [len] consecutive words from [a]. *)

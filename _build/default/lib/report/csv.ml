@@ -1,0 +1,30 @@
+let escape field =
+  let needs_quoting = String.exists (fun c -> c = ',' || c = '"' || c = '\n') field in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let of_rows rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map escape row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let of_table t = of_rows (Table.header t :: Table.rows t)
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_table t))

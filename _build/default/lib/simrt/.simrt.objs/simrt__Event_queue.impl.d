@@ -1,0 +1,1 @@
+lib/simrt/event_queue.ml: Array

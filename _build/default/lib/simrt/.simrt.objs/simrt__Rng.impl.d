@@ -1,0 +1,1 @@
+lib/simrt/rng.ml: Array Float Int64

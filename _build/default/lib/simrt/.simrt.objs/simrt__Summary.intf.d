@@ -1,0 +1,1 @@
+lib/simrt/summary.mli:

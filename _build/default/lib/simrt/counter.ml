@@ -1,0 +1,28 @@
+type set = (string, int ref) Hashtbl.t
+
+let create_set () = Hashtbl.create 64
+
+let cell set name =
+  match Hashtbl.find_opt set name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add set name r;
+      r
+
+let add set name n =
+  assert (n >= 0);
+  let r = cell set name in
+  r := !r + n
+
+let incr set name = add set name 1
+
+let get set name = match Hashtbl.find_opt set name with Some r -> !r | None -> 0
+
+let to_list set =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) set []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset set = Hashtbl.reset set
+
+let merge_into ~dst src = Hashtbl.iter (fun k r -> add dst k !r) src

@@ -1,0 +1,26 @@
+(** Named event counters.
+
+    A [Counter.set] is a bag of monotonically increasing counters used for
+    statistics and energy accounting. Counters are created on first use so
+    call sites stay terse. *)
+
+type set
+
+val create_set : unit -> set
+
+val incr : set -> string -> unit
+(** Add 1 to the named counter. *)
+
+val add : set -> string -> int -> unit
+(** Add an arbitrary non-negative amount. *)
+
+val get : set -> string -> int
+(** Current value; 0 if never touched. *)
+
+val to_list : set -> (string * int) list
+(** All counters, sorted by name. *)
+
+val reset : set -> unit
+
+val merge_into : dst:set -> set -> unit
+(** Accumulate every counter of the source into [dst]. *)

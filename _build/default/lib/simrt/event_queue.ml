@@ -1,0 +1,83 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let clear t =
+  t.heap <- [||];
+  t.size <- 0;
+  t.next_seq <- 0
+
+(* [a] sorts before [b] when earlier in time, or same time but pushed
+   earlier. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let nh = Array.make ncap e in
+    Array.blit t.heap 0 nh 0 t.size;
+    t.heap <- nh
+  end
+
+let push t ~time payload =
+  assert (time >= 0);
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t e;
+  let h = t.heap in
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  h.(!i) <- e;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before h.(!i) h.(parent) then begin
+      let tmp = h.(parent) in
+      h.(parent) <- h.(!i);
+      h.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let h = t.heap in
+    let top = h.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      h.(0) <- h.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && before h.(l) h.(!smallest) then smallest := l;
+        if r < t.size && before h.(r) h.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.(!smallest) in
+          h.(!smallest) <- h.(!i);
+          h.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

@@ -1,0 +1,25 @@
+(** Binary min-heap priority queue ordering simulator events by time.
+
+    The global simulation loop pops the (time, payload) pair with the smallest
+    time; ties are broken by insertion order (FIFO among equal times) so the
+    simulation is fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [push q ~time x] schedules [x] at [time]. [time] must be
+    non-negative. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> int option
+(** Time of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/arrayswap.ml: Common Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/bayes.ml: Array Common Isa Layout Machine Mem Simrt

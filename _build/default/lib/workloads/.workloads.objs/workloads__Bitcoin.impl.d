@@ -1,0 +1,1 @@
+lib/workloads/bitcoin.ml: Array Common Isa Layout Machine Mem Simrt

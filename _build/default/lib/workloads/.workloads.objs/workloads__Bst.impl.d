@@ -1,0 +1,1 @@
+lib/workloads/bst.ml: Array Common Isa Layout Machine Mem Simrt

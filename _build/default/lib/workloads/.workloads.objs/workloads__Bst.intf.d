@@ -1,0 +1,1 @@
+lib/workloads/bst.mli: Machine

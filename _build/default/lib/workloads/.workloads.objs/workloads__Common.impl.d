@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Array Isa Layout List

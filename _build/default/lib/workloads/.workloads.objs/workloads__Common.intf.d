@@ -1,0 +1,1 @@
+lib/workloads/common.mli: Isa Layout Mem

@@ -1,0 +1,1 @@
+lib/workloads/deque.ml: Array Common Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/genome.ml: Array Common Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/hashmap.ml: Array Common Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/intruder.ml: Array Common Isa Layout Machine Mem Simrt

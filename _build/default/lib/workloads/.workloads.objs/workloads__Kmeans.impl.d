@@ -1,0 +1,1 @@
+lib/workloads/kmeans.ml: Array Common Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/labyrinth.ml: Array Common Hashtbl Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/labyrinth.mli: Machine

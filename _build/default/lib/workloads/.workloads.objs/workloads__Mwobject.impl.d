@@ -1,0 +1,1 @@
+lib/workloads/mwobject.ml: Array Common Isa Layout List Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/queue.ml: Array Common Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Arrayswap Bayes Bitcoin Bst Deque Genome Hashmap Intruder Kmeans Labyrinth List Machine Mwobject Queue Sorted_list Ssca2 Stack Vacation Yada

@@ -1,0 +1,1 @@
+lib/workloads/sorted_list.ml: Array Common Isa Layout List Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/sorted_list.mli: Machine

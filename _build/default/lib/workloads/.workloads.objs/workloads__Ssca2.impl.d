@@ -1,0 +1,1 @@
+lib/workloads/ssca2.ml: Array Common Isa Layout Machine Mem Simrt

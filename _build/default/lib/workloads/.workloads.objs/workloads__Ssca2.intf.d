@@ -1,0 +1,1 @@
+lib/workloads/ssca2.mli: Machine

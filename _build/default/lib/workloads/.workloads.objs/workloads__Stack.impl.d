@@ -1,0 +1,1 @@
+lib/workloads/stack.ml: Array Common Isa Layout Machine Mem Simrt

@@ -1,0 +1,1 @@
+lib/workloads/vacation.ml: Array Common Isa Layout Machine Mem Simrt

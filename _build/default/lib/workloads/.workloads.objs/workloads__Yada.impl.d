@@ -1,0 +1,1 @@
+lib/workloads/yada.ml: Array Common Isa Layout List Machine Mem Simrt

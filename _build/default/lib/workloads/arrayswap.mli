@@ -1,0 +1,14 @@
+(** arrayswap: swap two random array elements inside an atomic region.
+
+    The canonical immutable-footprint benchmark (paper Listing 1): both
+    element addresses are computed outside the region, so retries always
+    touch the same cachelines and NS-CL applies. Two ARs: [swap] and
+    [add_pair]. Elements live one per cacheline; contention is controlled by
+    the slot count. *)
+
+val make : ?slots:int -> ?theta:float -> unit -> Machine.Workload.t
+(** [slots] array size (default 48 — small enough that 32 threads collide
+    often); [theta] Zipf skew for slot selection (default 0.4). *)
+
+val workload : Machine.Workload.t
+(** [make ()] with defaults. *)

@@ -1,0 +1,13 @@
+(** bitcoin: transfers between wallets through a read-only user table
+    (paper Listing 2).
+
+    The single AR resolves both wallet pointers through the [users]
+    directory — an indirection, but through data no AR ever writes, so the
+    footprint is {e likely immutable}: retries with the same inputs touch
+    the same lines, and S-CL commits them on the first retry. *)
+
+val make : ?wallets:int -> ?theta:float -> unit -> Machine.Workload.t
+(** [wallets] (default 64); [theta] Zipf skew of wallet popularity
+    (default 0.6, modelling hot exchange wallets). *)
+
+val workload : Machine.Workload.t

@@ -1,0 +1,16 @@
+(** bst: unbalanced binary search tree with insert / contains / lazy delete.
+
+    All three ARs traverse node links that other ARs rewrite, so their
+    footprints are mutable (paper Table 1 classifies all bst ARs mutable);
+    while the tree is small they still fit the ALT and can retry under S-CL,
+    the behaviour the paper points out for bst in Figure 12. Deletion is
+    lazy (an [alive] flag), the standard concurrent-BST idiom — structural
+    unlinks would turn the left spine into a global hotspot. Node layout:
+    one line per node, [\[key; left; right; alive\]]. *)
+
+val make : ?initial:int -> ?key_range:int -> ?pool_per_thread:int -> unit -> Machine.Workload.t
+(** [initial] keys preloaded (default 96), [key_range] key universe
+    (default 1024), [pool_per_thread] pre-allocated nodes per thread
+    (default 512; inserts beyond that degrade to lookups). *)
+
+val workload : Machine.Workload.t

@@ -1,0 +1,14 @@
+(** labyrinth: grid-routing kernel (STAMP labyrinth).
+
+    The driver plans a random walk through the grid and writes it to a
+    thread-private path buffer; the AR then atomically claims every cell of
+    the path (check-then-write over dozens of grid lines). The large,
+    branch-on-grid footprints are all mutable and frequently overflow the
+    ALT, so labyrinth runs mostly speculatively or in fallback — the paper's
+    observed behaviour. Three ARs: claim, erase, validate. *)
+
+val make : ?grid:int -> ?path_len:int -> unit -> Machine.Workload.t
+(** [grid] side length (default 24); [path_len] cells per route
+    (default 18). *)
+
+val workload : Machine.Workload.t

@@ -1,0 +1,24 @@
+type t = { mutable next : Mem.Addr.t }
+
+let words_per_line = Mem.Addr.words_per_line
+
+let create ?(base = 64) () = { next = base }
+
+let align_line t =
+  let rem = t.next mod words_per_line in
+  if rem <> 0 then t.next <- t.next + (words_per_line - rem)
+
+let alloc_lines t n =
+  align_line t;
+  let a = t.next in
+  t.next <- t.next + (n * words_per_line);
+  a
+
+let alloc_line t = alloc_lines t 1
+
+let alloc_words t n =
+  let a = t.next in
+  t.next <- t.next + n;
+  a
+
+let used_words t = t.next

@@ -1,0 +1,28 @@
+(** Bump allocator for laying out a workload's shared data structures.
+
+    Layout happens when the workload value is constructed (it is a pure
+    function of the workload parameters), so AR bodies can embed the
+    resulting addresses as immediates; [setup] later fills the same addresses
+    with initial data. Line-aligned allocation is the default — a node per
+    cacheline — because conflict detection, cacheline locking and the ALT all
+    work at line granularity and false sharing would blur every experiment
+    (the mwobject benchmark, which targets intra-line sharing, asks for
+    packed allocation explicitly). *)
+
+type t
+
+val create : ?base:Mem.Addr.t -> unit -> t
+(** Allocation starts at [base] (default: word 64, keeping line 0 clear for
+    the conceptual fallback-lock line). *)
+
+val alloc_line : t -> Mem.Addr.t
+(** One fresh cacheline; returns its first word address. *)
+
+val alloc_lines : t -> int -> Mem.Addr.t
+(** [n] consecutive cachelines. *)
+
+val alloc_words : t -> int -> Mem.Addr.t
+(** Packed words, no alignment. *)
+
+val used_words : t -> int
+(** High-water mark, for sizing the backing store. *)

@@ -1,0 +1,11 @@
+(** mwobject: four additions to four different words of the same cacheline
+    (paper's multi-word-object benchmark, after Feldman et al.'s wait-free
+    MCAS use case).
+
+    A single immutable AR that every thread hits on the same line — the
+    worst case for speculative retries and the best case for NS-CL. *)
+
+val make : ?objects:int -> unit -> Machine.Workload.t
+(** [objects] independent multi-word objects (default 2; fewer = hotter). *)
+
+val workload : Machine.Workload.t

@@ -1,0 +1,35 @@
+let data_structures =
+  [
+    Arrayswap.workload;
+    Bitcoin.workload;
+    Bst.workload;
+    Deque.workload;
+    Hashmap.workload;
+    Mwobject.workload;
+    Queue.workload;
+    Stack.workload;
+    Sorted_list.workload;
+  ]
+
+let stamp =
+  [
+    Bayes.workload;
+    Genome.workload;
+    Intruder.workload;
+    Kmeans.high;
+    Kmeans.low;
+    Labyrinth.workload;
+    Ssca2.workload;
+    Vacation.high;
+    Vacation.low;
+    Yada.workload;
+  ]
+
+let all = data_structures @ stamp
+
+let find name =
+  match List.find_opt (fun (w : Machine.Workload.t) -> w.name = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let names = List.map (fun (w : Machine.Workload.t) -> w.name) all

@@ -1,0 +1,13 @@
+(** All benchmarks, in the paper's presentation order (data structures first,
+    then STAMP). *)
+
+val all : Machine.Workload.t list
+
+val data_structures : Machine.Workload.t list
+
+val stamp : Machine.Workload.t list
+
+val find : string -> Machine.Workload.t
+(** By name; raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,13 @@
+(** sorted-list: singly linked sorted list (paper Listing 3).
+
+    [count_matching] walks the whole list, [insert] walks to the insertion
+    point — both mutable footprints through [list.next]. [update_stats] is
+    the immutable third AR: a plain counter update at a pre-computed
+    address. *)
+
+val make : ?initial:int -> ?key_range:int -> ?pool_per_thread:int -> unit -> Machine.Workload.t
+(** [initial] preloaded keys (default 10), [key_range] key universe and thus
+    maximum list length (default 24 — traversal footprints hover around the
+    ALT capacity, so conversion eligibility is exercised both ways). *)
+
+val workload : Machine.Workload.t

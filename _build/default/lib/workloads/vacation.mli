@@ -1,0 +1,13 @@
+(** vacation: travel-reservation kernel (STAMP vacation).
+
+    Resource tables are per-resource chains of reservation records;
+    [reserve] and [cancel] traverse them (mutable), while customer-profile
+    updates go through the read-only customer directory (likely immutable) —
+    paper Table 1's 0/1/2 split. [high] uses fewer resources and a hotter
+    mix than [low]. *)
+
+val make : ?resources:int -> ?chain:int -> name:string -> unit -> Machine.Workload.t
+
+val high : Machine.Workload.t
+
+val low : Machine.Workload.t

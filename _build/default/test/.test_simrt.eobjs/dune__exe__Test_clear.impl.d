@@ -1,0 +1,1 @@
+test/test_clear.ml: Alcotest Clear Gen Isa List Machine QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Hashtbl Isa List Machine Mem Printf Simrt Workloads

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Isa List Machine Mem Printf QCheck Random Simrt

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Clear_repro Lazy List Machine Report String Workloads

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Buffer Format Isa List Machine Mem String Workloads

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest List Mem QCheck QCheck_alcotest Simrt

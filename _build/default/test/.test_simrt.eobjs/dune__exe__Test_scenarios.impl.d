@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Array Isa List Machine Mem Printf Simrt

@@ -1,0 +1,1 @@
+test/test_simrt.ml: Alcotest Array Gen List QCheck QCheck_alcotest Simrt

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Isa List Machine Mem Simrt Workloads

@@ -1,0 +1,60 @@
+(* Tests for the event-based energy model. *)
+
+module Model = Energy.Model
+module Counter = Simrt.Counter
+
+let test_static_scales () =
+  let c = Model.default in
+  let e1 = Model.static c ~cores:1 ~cycles:100 in
+  let e2 = Model.static c ~cores:2 ~cycles:100 in
+  let e3 = Model.static c ~cores:1 ~cycles:200 in
+  Alcotest.(check (float 1e-9)) "linear in cores" (2.0 *. e1) e2;
+  Alcotest.(check (float 1e-9)) "linear in cycles" (2.0 *. e1) e3
+
+let test_dynamic_counts () =
+  let set = Counter.create_set () in
+  Counter.add set "instrs" 10;
+  Counter.add set "l1_hit" 5;
+  let c = Model.default in
+  Alcotest.(check (float 1e-9)) "weighted sum"
+    ((10.0 *. c.Model.instr) +. (5.0 *. c.Model.l1_access))
+    (Model.dynamic c set)
+
+let test_dynamic_empty () =
+  Alcotest.(check (float 1e-9)) "no events, no dynamic energy" 0.0
+    (Model.dynamic Model.default (Counter.create_set ()))
+
+let test_total_is_sum () =
+  let set = Counter.create_set () in
+  Counter.add set "mem_access" 3;
+  let c = Model.default in
+  Alcotest.(check (float 1e-6)) "total = static + dynamic"
+    (Model.static c ~cores:4 ~cycles:50 +. Model.dynamic c set)
+    (Model.total c ~cores:4 ~cycles:50 set)
+
+let test_cost_ordering () =
+  let c = Model.default in
+  Alcotest.(check bool) "memory dearer than caches" true
+    (c.Model.mem_access > c.Model.l3_access
+    && c.Model.l3_access > c.Model.l2_access
+    && c.Model.l2_access > c.Model.l1_access)
+
+let test_aborts_cost_energy () =
+  let set = Counter.create_set () in
+  let base = Model.dynamic Model.default set in
+  Counter.add set "aborts" 7;
+  Alcotest.(check bool) "aborts add energy" true (Model.dynamic Model.default set > base)
+
+let () =
+  Alcotest.run "energy"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "static scaling" `Quick test_static_scales;
+          Alcotest.test_case "dynamic counting" `Quick test_dynamic_counts;
+          Alcotest.test_case "empty dynamic" `Quick test_dynamic_empty;
+          Alcotest.test_case "total = sum" `Quick test_total_is_sum;
+          Alcotest.test_case "cost ordering" `Quick test_cost_ordering;
+          Alcotest.test_case "aborts cost" `Quick test_aborts_cost_energy;
+        ] );
+    ]

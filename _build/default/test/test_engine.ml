@@ -1,0 +1,460 @@
+(* End-to-end engine tests: semantic correctness of simulated execution,
+   atomicity invariants under every execution mode, determinism, and the
+   CLEAR-specific behaviours (discovery, NS-CL/S-CL conversion, fallback). *)
+
+module Engine = Machine.Engine
+module Config = Machine.Config
+module Stats = Machine.Stats
+module Workload = Machine.Workload
+module Store = Mem.Store
+module A = Isa.Asm
+module I = Isa.Instr
+module P = Isa.Program
+
+let small cfg = { cfg with Config.cores = 8; ops_per_thread = 60; memory_words = 1 lsl 20 }
+
+let tiny cfg = { cfg with Config.cores = 2; ops_per_thread = 10; memory_words = 1 lsl 18 }
+
+(* ------------------------------------------------------------------ *)
+(* A hand-built workload with a known arithmetic result: every op adds a
+   fixed delta to one shared counter. Checks basic execution semantics and
+   atomicity in one go: final counter = ops * delta exactly. *)
+
+let counter_workload ~delta =
+  let counter_addr = 64 in
+  let ar =
+    P.build_ar ~id:0 ~name:"count" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"ctr" ();
+        A.add b ~dst:8 (I.Reg 8) (I.Reg 1);
+        A.st b ~base:(I.Reg 0) ~src:(I.Reg 8) ~region:"ctr" ();
+        A.halt b)
+  in
+  ( {
+      Workload.name = "counter";
+      description = "shared counter increments";
+      ars = [ ar ];
+      memory_words = 128;
+      setup = (fun store _ -> Store.write store counter_addr 0);
+      make_driver = (fun ~tid:_ ~threads:_ _ _ () -> Workload.op ar [ (0, counter_addr); (1, delta) ]);
+    },
+    counter_addr )
+
+let test_counter_exact preset () =
+  let w, addr = counter_workload ~delta:3 in
+  let cfg = small preset in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  let expected = cfg.Config.cores * cfg.Config.ops_per_thread in
+  Alcotest.(check int) "all ops committed" expected (Stats.commits stats);
+  Alcotest.(check int) "counter is atomic" (expected * 3) (Store.read (Engine.store engine) addr)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let test_determinism () =
+  let run () =
+    let stats = Engine.run_workload (small Config.clear_power) Workloads.Bst.workload in
+    (Stats.total_cycles stats, Stats.commits stats, Stats.aborts stats)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) "identical runs" a b
+
+let test_seed_changes_outcome () =
+  let run seed =
+    let cfg = Config.with_seed (small Config.baseline) seed in
+    Stats.total_cycles (Engine.run_workload cfg Workloads.Bst.workload)
+  in
+  Alcotest.(check bool) "different seeds differ" true (run 1 <> run 2)
+
+(* ------------------------------------------------------------------ *)
+(* Atomicity invariants on real workloads, under every configuration. *)
+
+let presets = [ ("B", Config.baseline); ("P", Config.power_tm); ("C", Config.clear_rw); ("W", Config.clear_power) ]
+
+(* bitcoin: the total number of coins is conserved by transfers. *)
+let test_bitcoin_conservation (name, preset) () =
+  let w = Workloads.Bitcoin.make ~wallets:16 () in
+  let cfg = small preset in
+  let engine = Engine.create cfg w in
+  let _ = Engine.run engine in
+  let store = Engine.store engine in
+  (* wallet pointers live in the users directory starting at word 64 *)
+  let users = 64 in
+  let total = ref 0 in
+  for i = 0 to 15 do
+    let wallet = Store.read store (users + i) in
+    total := !total + Store.read store wallet
+  done;
+  Alcotest.(check int) (name ^ ": coins conserved") (16 * 10_000) !total
+
+(* mwobject: field sums equal known per-commit deltas. *)
+let test_mwobject_sums (name, preset) () =
+  let w = Workloads.Mwobject.make ~objects:1 () in
+  let cfg = small preset in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  let store = Engine.store engine in
+  let base = 64 in
+  let commits = Stats.commits stats in
+  (* deltas for fields 0 and 2 are always 1 per committed op *)
+  Alcotest.(check int) (name ^ ": field0") commits (Store.read store (base + 0));
+  Alcotest.(check int) (name ^ ": field2") commits (Store.read store (base + 2))
+
+(* sorted-list: keys remain sorted strictly ascending and the list acyclic. *)
+let test_sorted_list_invariant (name, preset) () =
+  let w = Workloads.Sorted_list.workload in
+  let engine = Engine.create (small preset) w in
+  let _ = Engine.run engine in
+  let store = Engine.store engine in
+  let head = 64 in
+  let seen = Hashtbl.create 64 in
+  let rec walk node last count =
+    if node = 0 then count
+    else begin
+      Alcotest.(check bool) (name ^ ": acyclic") false (Hashtbl.mem seen node);
+      Hashtbl.add seen node ();
+      let key = Store.read store node in
+      Alcotest.(check bool) (name ^ ": sorted strictly") true (key > last);
+      walk (Store.read store (node + 1)) key (count + 1)
+    end
+  in
+  let n = walk (Store.read store head) min_int 0 in
+  Alcotest.(check bool) (name ^ ": bounded by key range") true (n <= 24)
+
+(* bst: in-order traversal is strictly sorted; structure acyclic. *)
+let test_bst_invariant (name, preset) () =
+  let w = Workloads.Bst.workload in
+  let engine = Engine.create (small preset) w in
+  let _ = Engine.run engine in
+  let store = Engine.store engine in
+  let root_addr = 64 in
+  let seen = Hashtbl.create 256 in
+  let last = ref min_int in
+  let rec inorder node =
+    if node <> 0 then begin
+      Alcotest.(check bool) (name ^ ": acyclic") false (Hashtbl.mem seen node);
+      Hashtbl.add seen node ();
+      inorder (Store.read store (node + 1));
+      let key = Store.read store node in
+      Alcotest.(check bool) (name ^ ": in-order sorted") true (key > !last);
+      last := key;
+      inorder (Store.read store (node + 2))
+    end
+  in
+  inorder (Store.read store root_addr)
+
+(* queue: the chain from head is acyclic and null-terminated. *)
+let test_queue_invariant (name, preset) () =
+  let w = Workloads.Queue.workload in
+  let engine = Engine.create (small preset) w in
+  let _ = Engine.run engine in
+  let store = Engine.store engine in
+  let head = 64 in
+  let seen = Hashtbl.create 256 in
+  let rec walk node =
+    if node <> 0 then begin
+      Alcotest.(check bool) (name ^ ": acyclic") false (Hashtbl.mem seen node);
+      Hashtbl.add seen node ();
+      walk (Store.read store (node + 1))
+    end
+  in
+  walk (Store.read store head)
+
+(* stack: push/pop leave an acyclic chain whose length matches committed
+   pushes minus non-empty pops. *)
+let test_stack_invariant (name, preset) () =
+  let w = Workloads.Stack.workload in
+  let engine = Engine.create (small preset) w in
+  let _ = Engine.run engine in
+  let store = Engine.store engine in
+  let top = 64 in
+  let seen = Hashtbl.create 256 in
+  let rec walk node n =
+    if node = 0 then n
+    else begin
+      Alcotest.(check bool) (name ^ ": acyclic") false (Hashtbl.mem seen node);
+      Hashtbl.add seen node ();
+      walk (Store.read store (node + 1)) (n + 1)
+    end
+  in
+  ignore (walk (Store.read store top) 0)
+
+(* ------------------------------------------------------------------ *)
+(* CLEAR-specific behaviour *)
+
+let test_nscl_used_for_immutable () =
+  let stats = Engine.run_workload (small Config.clear_rw) Workloads.Arrayswap.workload in
+  Alcotest.(check bool) "NS-CL commits happen" true (Stats.commits_in_mode stats Stats.Nscl > 0);
+  Alcotest.(check int) "no S-CL for immutable ARs" 0 (Stats.commits_in_mode stats Stats.Scl)
+
+let test_scl_used_for_likely_immutable () =
+  let stats = Engine.run_workload (small Config.clear_rw) Workloads.Bitcoin.workload in
+  Alcotest.(check bool) "S-CL commits happen" true (Stats.commits_in_mode stats Stats.Scl > 0);
+  Alcotest.(check int) "no NS-CL with indirections" 0 (Stats.commits_in_mode stats Stats.Nscl)
+
+let test_no_cl_modes_when_disabled () =
+  let stats = Engine.run_workload (small Config.baseline) Workloads.Arrayswap.workload in
+  Alcotest.(check int) "no NS-CL" 0 (Stats.commits_in_mode stats Stats.Nscl);
+  Alcotest.(check int) "no S-CL" 0 (Stats.commits_in_mode stats Stats.Scl)
+
+let test_clear_reduces_aborts () =
+  let run preset = Stats.aborts_per_commit (Engine.run_workload (small preset) Workloads.Mwobject.workload) in
+  let b = run Config.baseline and c = run Config.clear_rw in
+  Alcotest.(check bool) (Printf.sprintf "aborts/commit improves (B %.2f vs C %.2f)" b c) true (c < b)
+
+let test_clear_improves_single_retry () =
+  let breakdown preset =
+    let s = Engine.run_workload (small preset) Workloads.Mwobject.workload in
+    let one, _, _ = Stats.retry_breakdown s in
+    one
+  in
+  Alcotest.(check bool) "more single-retry commits" true
+    (breakdown Config.clear_rw > breakdown Config.baseline)
+
+let test_fallback_under_zero_retries () =
+  let cfg = { (small Config.baseline) with Config.max_retries = 0 } in
+  let w, addr = counter_workload ~delta:1 in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  let expected = cfg.Config.cores * cfg.Config.ops_per_thread in
+  Alcotest.(check int) "all committed" expected (Stats.commits stats);
+  Alcotest.(check int) "atomic under fallback" expected (Store.read (Engine.store engine) addr);
+  Alcotest.(check bool) "fallback exercised" true (Stats.commits_in_mode stats Stats.Fallback_mode > 0)
+
+let test_failed_mode_discovery_ablation () =
+  (* Without failed-mode discovery the region's footprint is never fully
+     learned, so no conversion can happen. *)
+  let cfg = { (small Config.clear_rw) with Config.failed_mode_discovery = false } in
+  let stats = Engine.run_workload cfg Workloads.Mwobject.workload in
+  Alcotest.(check int) "no NS-CL without discovery-to-end" 0 (Stats.commits_in_mode stats Stats.Nscl);
+  Alcotest.(check int) "no S-CL either" 0 (Stats.commits_in_mode stats Stats.Scl)
+
+let test_spec_requests_stall_on_locked_lines () =
+  (* Contended CLEAR run: locked lines must stall plain speculative
+     requesters (counted) rather than abort them, and everything still
+     commits. *)
+  let cfg = small Config.clear_rw in
+  let stats = Engine.run_workload cfg Workloads.Hashmap.workload in
+  Alcotest.(check int) "all ops commit" (cfg.Config.cores * cfg.Config.ops_per_thread)
+    (Stats.commits stats);
+  Alcotest.(check bool) "stall cycles observed" true
+    (Simrt.Counter.get (Stats.counters stats) "stall_cycles" > 0)
+
+let test_crt_decay_prevents_convoy () =
+  (* Without CRT decay, hot read lines stay locked by every S-CL: correct but
+     slower. With decay the same workload must not be slower. *)
+  let run decay =
+    let cfg = { (small Config.clear_rw) with Config.crt_decay = decay } in
+    Stats.total_cycles (Engine.run_workload cfg Workloads.Bst.workload)
+  in
+  let with_decay = run true and without = run false in
+  Alcotest.(check bool)
+    (Printf.sprintf "decay not slower (%d vs %d)" with_decay without)
+    true
+    (with_decay <= without)
+
+let test_power_token_single () =
+  (* PowerTM must behave correctly even with heavy contention. *)
+  let w, addr = counter_workload ~delta:1 in
+  let cfg = small Config.power_tm in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  let expected = cfg.Config.cores * cfg.Config.ops_per_thread in
+  Alcotest.(check int) "commits" expected (Stats.commits stats);
+  Alcotest.(check int) "atomicity" expected (Store.read (Engine.store engine) addr)
+
+let test_fig1_in_bounds () =
+  let stats = Engine.run_workload (small Config.baseline) Workloads.Stack.workload in
+  let r = Stats.fig1_ratio stats in
+  Alcotest.(check bool) "ratio within [0,1]" true (r >= 0.0 && r <= 1.0)
+
+let test_total_cycles_positive () =
+  let stats = Engine.run_workload (tiny Config.baseline) Workloads.Arrayswap.workload in
+  Alcotest.(check bool) "cycles accrue" true (Stats.total_cycles stats > 0);
+  Alcotest.(check bool) "instructions retired" true (Stats.instrs stats > 0)
+
+let test_single_core_no_conflicts () =
+  let cfg = { (tiny Config.baseline) with Config.cores = 1; ops_per_thread = 50 } in
+  let stats = Engine.run_workload cfg Workloads.Hashmap.workload in
+  Alcotest.(check int) "no aborts alone" 0 (Stats.aborts stats);
+  Alcotest.(check int) "all first-try" 50 (Stats.commits_with_retries stats 0)
+
+let test_every_workload_completes () =
+  (* Sweep all benchmarks under the most complex configuration. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let cfg = { (tiny Config.clear_power) with Config.cores = 4; ops_per_thread = 25 } in
+      let stats = Engine.run_workload cfg w in
+      Alcotest.(check int) (w.name ^ " commits everything") 100 (Stats.commits stats))
+    Workloads.Registry.all
+
+let test_single_core_clear_is_free () =
+  (* Metamorphic property: with one core there are no conflicts, so
+     discovery never influences timing — CLEAR on/off must give identical
+     cycle counts. *)
+  let run preset =
+    let cfg = { (tiny preset) with Config.cores = 1; ops_per_thread = 80 } in
+    Stats.total_cycles (Engine.run_workload cfg Workloads.Bitcoin.workload)
+  in
+  Alcotest.(check int) "identical cycles" (run Config.baseline) (run Config.clear_rw)
+
+(* ------------------------------------------------------------------ *)
+(* SLE front-end (in-core speculation, per-lock fallback) *)
+
+let sle cfg = { cfg with Config.frontend = Config.Sle }
+
+let test_sle_counter_atomicity () =
+  let w, addr = counter_workload ~delta:2 in
+  let cfg = sle (small Config.baseline) in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  let expected = cfg.Config.cores * cfg.Config.ops_per_thread in
+  Alcotest.(check int) "commits" expected (Stats.commits stats);
+  Alcotest.(check int) "atomic" (expected * 2) (Store.read (Engine.store engine) addr)
+
+let test_sle_bitcoin_conservation () =
+  let w = Workloads.Bitcoin.make ~wallets:16 () in
+  let cfg = sle (small Config.clear_power) in
+  let engine = Engine.create cfg w in
+  let _ = Engine.run engine in
+  let store = Engine.store engine in
+  let total = ref 0 in
+  for i = 0 to 15 do
+    total := !total + Store.read store (Store.read store (64 + i))
+  done;
+  Alcotest.(check int) "coins conserved under SLE+CLEAR" (16 * 10_000) !total
+
+let test_sle_window_bound () =
+  (* An AR bigger than the ROB can never complete speculatively under SLE:
+     every commit must come from the (per-lock) fallback path. *)
+  let big_ar =
+    P.build_ar ~id:0 ~name:"oversized" (fun b ->
+        let counter = 64 in
+        A.ld b ~dst:8 ~base:(I.Imm counter) ~region:"c" ();
+        A.add b ~dst:8 (I.Reg 8) (I.Imm 1);
+        (* pad far beyond a tiny ROB *)
+        for _ = 1 to 64 do
+          A.nop b
+        done;
+        A.st b ~base:(I.Imm counter) ~src:(I.Reg 8) ~region:"c" ();
+        A.halt b)
+  in
+  let w =
+    {
+      Workload.name = "oversized";
+      description = "AR larger than the ROB";
+      ars = [ big_ar ];
+      memory_words = 128;
+      setup = (fun store _ -> Store.write store 64 0);
+      make_driver = (fun ~tid:_ ~threads:_ _ _ () -> Workload.op big_ar []);
+    }
+  in
+  let cfg = { (sle (tiny Config.baseline)) with Config.rob_entries = 16; cores = 4; ops_per_thread = 20 } in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  Alcotest.(check int) "all committed" 80 (Stats.commits stats);
+  Alcotest.(check int) "all via fallback" 80 (Stats.commits_in_mode stats Stats.Fallback_mode);
+  Alcotest.(check int) "counter still atomic" 80 (Store.read (Engine.store engine) 64)
+
+let test_sle_per_lock_independence () =
+  (* Two ops on different locks must not explicit-fallback on each other:
+     with 2 cores pinned to different locks and retries = 0 (always
+     fallback), there are no fallback-related aborts at all. *)
+  let ar =
+    P.build_ar ~id:0 ~name:"bump" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"c" ();
+        A.add b ~dst:8 (I.Reg 8) (I.Imm 1);
+        A.st b ~base:(I.Reg 0) ~src:(I.Reg 8) ~region:"c" ();
+        A.halt b)
+  in
+  let w =
+    {
+      Workload.name = "two-locks";
+      description = "disjoint counters under disjoint locks";
+      ars = [ ar ];
+      memory_words = 256;
+      setup =
+        (fun store _ ->
+          Store.write store 64 0;
+          Store.write store 128 0);
+      make_driver =
+        (fun ~tid ~threads:_ _ _ () -> Workload.op ~lock_id:tid ar [ (0, 64 + (tid * 64)) ]);
+    }
+  in
+  let cfg = { (sle (tiny Config.baseline)) with Config.cores = 2; ops_per_thread = 40; max_retries = 0 } in
+  let engine = Engine.create cfg w in
+  let stats = Engine.run engine in
+  Alcotest.(check int) "commits" 80 (Stats.commits stats);
+  Alcotest.(check int) "no explicit fallback aborts" 0
+    (Stats.aborts_with_cause stats Machine.Abort.Explicit_fallback);
+  Alcotest.(check int) "no other-fallback aborts" 0
+    (Stats.aborts_with_cause stats Machine.Abort.Other_fallback)
+
+let test_sle_clear_converts () =
+  let cfg = sle (small Config.clear_rw) in
+  let stats = Engine.run_workload cfg Workloads.Arrayswap.workload in
+  Alcotest.(check bool) "NS-CL under SLE" true (Stats.commits_in_mode stats Stats.Nscl > 0)
+
+let test_sle_every_workload_completes () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let cfg = { (sle (tiny Config.clear_power)) with Config.cores = 4; ops_per_thread = 15 } in
+      let stats = Engine.run_workload cfg w in
+      Alcotest.(check int) (w.name ^ " commits everything under SLE") 60 (Stats.commits stats))
+    Workloads.Registry.all
+
+let case name f = Alcotest.test_case name `Quick f
+
+let per_preset name f = List.map (fun (l, p) -> case (name ^ " [" ^ l ^ "]") (f (l, p))) presets
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "semantics",
+        [
+          case "counter exact [B]" (test_counter_exact Config.baseline);
+          case "counter exact [P]" (test_counter_exact Config.power_tm);
+          case "counter exact [C]" (test_counter_exact Config.clear_rw);
+          case "counter exact [W]" (test_counter_exact Config.clear_power);
+          case "single core, no conflicts" test_single_core_no_conflicts;
+          case "single core: CLEAR is free" test_single_core_clear_is_free;
+          case "cycles accrue" test_total_cycles_positive;
+        ] );
+      ( "determinism",
+        [ case "same seed, same run" test_determinism; case "seed sensitivity" test_seed_changes_outcome ]
+      );
+      ( "atomicity",
+        per_preset "bitcoin conservation" test_bitcoin_conservation
+        @ per_preset "mwobject sums" test_mwobject_sums
+        @ per_preset "sorted-list invariant" test_sorted_list_invariant
+        @ per_preset "bst invariant" test_bst_invariant
+        @ per_preset "queue invariant" test_queue_invariant
+        @ per_preset "stack invariant" test_stack_invariant );
+      ( "clear",
+        [
+          case "NS-CL for immutable" test_nscl_used_for_immutable;
+          case "S-CL for likely immutable" test_scl_used_for_likely_immutable;
+          case "no CL modes when disabled" test_no_cl_modes_when_disabled;
+          case "fewer aborts" test_clear_reduces_aborts;
+          case "more single-retry commits" test_clear_improves_single_retry;
+          case "failed-mode discovery ablation" test_failed_mode_discovery_ablation;
+          case "spec requests stall on locks" test_spec_requests_stall_on_locked_lines;
+          case "CRT decay prevents convoy" test_crt_decay_prevents_convoy;
+        ] );
+      ( "fallback+power",
+        [
+          case "fallback path atomic" test_fallback_under_zero_retries;
+          case "powertm atomic" test_power_token_single;
+          case "fig1 bounded" test_fig1_in_bounds;
+        ] );
+      ( "sle",
+        [
+          case "counter atomicity" test_sle_counter_atomicity;
+          case "bitcoin conservation" test_sle_bitcoin_conservation;
+          case "ROB window bound" test_sle_window_bound;
+          case "per-lock independence" test_sle_per_lock_independence;
+          case "CLEAR converts under SLE" test_sle_clear_converts;
+          case "every workload completes" test_sle_every_workload_completes;
+        ] );
+      ("sweep", [ case "every workload completes" test_every_workload_completes ]);
+    ]

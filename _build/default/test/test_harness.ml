@@ -1,0 +1,126 @@
+(* Tests for the experiment harness: measurements, retry sweeps and figure
+   table generation on a miniature suite. *)
+
+module Run = Clear_repro.Run
+module Experiments = Clear_repro.Experiments
+module Config = Machine.Config
+module Table = Report.Table
+
+let micro_options =
+  {
+    Experiments.cores = 4;
+    ops_per_thread = 30;
+    seeds = [ 3; 5 ];
+    trim = 0;
+    retry_choices = [ 4 ];
+  }
+
+let micro_workloads = [ Workloads.Arrayswap.workload; Workloads.Bitcoin.workload ]
+
+let suite = lazy (Experiments.run_suite ~workloads:micro_workloads micro_options)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_measure_basics () =
+  let cfg = Experiments.config_of_letter micro_options "B" in
+  let m = Run.measure cfg Workloads.Arrayswap.workload ~seeds:[ 1; 2 ] ~trim:0 in
+  Alcotest.(check string) "preset letter" "B" m.Run.preset;
+  Alcotest.(check string) "workload name" "arrayswap" m.Run.workload;
+  Alcotest.(check bool) "cycles positive" true (m.Run.cycles > 0.0);
+  Alcotest.(check bool) "energy positive" true (m.Run.energy > 0.0);
+  Alcotest.(check bool) "fractions bounded" true
+    (List.for_all (fun (_, v) -> v >= 0.0 && v <= 1.0) m.Run.commit_mode_fractions)
+
+let test_measure_deterministic () =
+  let cfg = Experiments.config_of_letter micro_options "W" in
+  let m1 = Run.measure cfg Workloads.Bitcoin.workload ~seeds:[ 1 ] ~trim:0 in
+  let m2 = Run.measure cfg Workloads.Bitcoin.workload ~seeds:[ 1 ] ~trim:0 in
+  Alcotest.(check (float 1e-9)) "same cycles" m1.Run.cycles m2.Run.cycles
+
+let test_best_retries_picks_minimum () =
+  let cfg = Experiments.config_of_letter micro_options "B" in
+  let best =
+    Run.measure_best_retries cfg Workloads.Arrayswap.workload ~seeds:[ 1 ] ~trim:0
+      ~retry_choices:[ 1; 8 ]
+  in
+  let m1 = Run.measure (Config.with_retries cfg 1) Workloads.Arrayswap.workload ~seeds:[ 1 ] ~trim:0 in
+  let m8 = Run.measure (Config.with_retries cfg 8) Workloads.Arrayswap.workload ~seeds:[ 1 ] ~trim:0 in
+  Alcotest.(check (float 1e-9)) "best is the min" (min m1.Run.cycles m8.Run.cycles) best.Run.cycles
+
+let test_config_of_letter () =
+  Alcotest.(check bool) "B has clear off" false
+    (Experiments.config_of_letter micro_options "B").Config.clear_enabled;
+  Alcotest.(check bool) "W has clear on" true
+    (Experiments.config_of_letter micro_options "W").Config.clear_enabled;
+  Alcotest.(check int) "cores applied" 4 (Experiments.config_of_letter micro_options "C").Config.cores;
+  Alcotest.check_raises "unknown letter" (Invalid_argument "config_of_letter: unknown preset X")
+    (fun () -> ignore (Experiments.config_of_letter micro_options "X"))
+
+let test_suite_shape () =
+  let s = Lazy.force suite in
+  Alcotest.(check int) "two workloads" 2 (List.length s.Experiments.rows);
+  List.iter
+    (fun (_, per) -> Alcotest.(check int) "four presets" 4 (List.length per))
+    s.Experiments.rows
+
+let test_figures_render () =
+  let s = Lazy.force suite in
+  let tables =
+    [
+      Experiments.fig1 s;
+      Experiments.fig8 s;
+      Experiments.fig8_discovery s;
+      Experiments.fig9 s;
+      Experiments.fig10 s;
+      Experiments.fig11 s;
+      Experiments.fig12 s;
+      Experiments.fig13 s;
+      Experiments.headline s;
+    ]
+  in
+  List.iter
+    (fun t ->
+      let str = Table.to_string t in
+      Alcotest.(check bool) "renders rows" true (String.length str > 80);
+      Alcotest.(check bool) "mentions a workload or metric" true
+        (contains str "arrayswap" || contains str "Paper"))
+    tables
+
+let test_fig8_baseline_normalised_to_one () =
+  let s = Lazy.force suite in
+  let str = Table.to_string (Experiments.fig8 s) in
+  Alcotest.(check bool) "B column is 1.000" true (contains str "1.000")
+
+let test_table1_rows () =
+  let str = Table.to_string (Experiments.table1 ()) in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " listed") true (contains str name))
+    Workloads.Registry.names
+
+let test_table2_mentions_htm () =
+  let str = Table.to_string (Experiments.table2 micro_options) in
+  Alcotest.(check bool) "mentions HTM" true (contains str "HTM");
+  Alcotest.(check bool) "mentions MESI" true (contains str "MESI")
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "measure basics" `Quick test_measure_basics;
+          Alcotest.test_case "measure deterministic" `Quick test_measure_deterministic;
+          Alcotest.test_case "best retries" `Quick test_best_retries_picks_minimum;
+          Alcotest.test_case "config_of_letter" `Quick test_config_of_letter;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "suite shape" `Slow test_suite_shape;
+          Alcotest.test_case "figures render" `Slow test_figures_render;
+          Alcotest.test_case "fig8 normalised" `Slow test_fig8_baseline_normalised_to_one;
+          Alcotest.test_case "table1 rows" `Quick test_table1_rows;
+          Alcotest.test_case "table2 content" `Quick test_table2_mentions_htm;
+        ] );
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the mini-ISA: semantics, validation, the assembler and program
+   containers. *)
+
+module I = Isa.Instr
+module A = Isa.Asm
+module P = Isa.Program
+
+let test_binop_semantics () =
+  Alcotest.(check int) "add" 7 (I.eval_binop I.Add 3 4);
+  Alcotest.(check int) "sub" (-1) (I.eval_binop I.Sub 3 4);
+  Alcotest.(check int) "mul" 12 (I.eval_binop I.Mul 3 4);
+  Alcotest.(check int) "div" 3 (I.eval_binop I.Div 13 4);
+  Alcotest.(check int) "div by zero" 0 (I.eval_binop I.Div 13 0);
+  Alcotest.(check int) "rem" 1 (I.eval_binop I.Rem 13 4);
+  Alcotest.(check int) "rem by zero" 0 (I.eval_binop I.Rem 13 0);
+  Alcotest.(check int) "and" 4 (I.eval_binop I.And 12 6);
+  Alcotest.(check int) "or" 14 (I.eval_binop I.Or 12 6);
+  Alcotest.(check int) "xor" 10 (I.eval_binop I.Xor 12 6);
+  Alcotest.(check int) "shl" 24 (I.eval_binop I.Shl 3 3);
+  Alcotest.(check int) "shr" 3 (I.eval_binop I.Shr 24 3);
+  Alcotest.(check int) "shr negative" (-1) (I.eval_binop I.Shr (-1) 5);
+  Alcotest.(check int) "min" 3 (I.eval_binop I.Min 3 4);
+  Alcotest.(check int) "max" 4 (I.eval_binop I.Max 3 4)
+
+let test_cond_semantics () =
+  Alcotest.(check bool) "eq" true (I.eval_cond I.Eq 2 2);
+  Alcotest.(check bool) "ne" true (I.eval_cond I.Ne 2 3);
+  Alcotest.(check bool) "lt" true (I.eval_cond I.Lt 2 3);
+  Alcotest.(check bool) "le" true (I.eval_cond I.Le 3 3);
+  Alcotest.(check bool) "gt" false (I.eval_cond I.Gt 3 3);
+  Alcotest.(check bool) "ge" true (I.eval_cond I.Ge 3 3)
+
+let test_base_cost () =
+  Alcotest.(check int) "mul heavier" 3 (I.base_cost (I.Binop { op = I.Mul; dst = 0; a = I.Imm 1; b = I.Imm 2 }));
+  Alcotest.(check int) "div heaviest" 20 (I.base_cost (I.Binop { op = I.Div; dst = 0; a = I.Imm 1; b = I.Imm 2 }));
+  Alcotest.(check int) "halt free" 0 (I.base_cost I.Halt)
+
+let test_is_mem () =
+  Alcotest.(check bool) "ld" true (I.is_mem (I.Ld { dst = 0; base = I.Imm 0; off = 0; region = "" }));
+  Alcotest.(check bool) "nop" false (I.is_mem I.Nop)
+
+let ok = Alcotest.result Alcotest.unit Alcotest.string
+
+let test_validate () =
+  Alcotest.check ok "valid" (Ok ()) (I.validate [| I.Nop; I.Halt |]);
+  Alcotest.check ok "no halt" (Error "body contains no halt") (I.validate [| I.Nop |]);
+  Alcotest.check ok "bad reg"
+    (Error "instruction 0: bad destination register")
+    (I.validate [| I.Mov { dst = 99; src = I.Imm 0 }; I.Halt |]);
+  Alcotest.check ok "bad target"
+    (Error "instruction 0: branch target out of range")
+    (I.validate [| I.Br { cond = I.Eq; a = I.Imm 0; b = I.Imm 0; target = 5 }; I.Halt |])
+
+let test_asm_labels () =
+  let b = A.create () in
+  let skip = A.new_label b in
+  A.mov b ~dst:1 (I.Imm 0);
+  A.brc b I.Eq (I.Reg 1) (I.Imm 0) skip;
+  A.mov b ~dst:1 (I.Imm 99);
+  A.place b skip;
+  A.halt b;
+  let body = A.assemble b in
+  (match body.(1) with
+  | I.Br { target; _ } -> Alcotest.(check int) "label resolved" 3 target
+  | _ -> Alcotest.fail "expected branch");
+  Alcotest.(check int) "length" 4 (Array.length body)
+
+let test_asm_unplaced_label () =
+  let b = A.create () in
+  let l = A.new_label b in
+  A.jmp b l;
+  A.halt b;
+  Alcotest.check_raises "unplaced" (Invalid_argument "Asm.assemble: label 0 never placed") (fun () ->
+      ignore (A.assemble b))
+
+let test_asm_double_place () =
+  let b = A.create () in
+  let l = A.new_label b in
+  A.place b l;
+  Alcotest.check_raises "double place" (Invalid_argument "Asm.place: label already placed") (fun () ->
+      A.place b l)
+
+let test_asm_length () =
+  let b = A.create () in
+  Alcotest.(check int) "empty" 0 (A.length b);
+  A.nop b;
+  A.nop b;
+  Alcotest.(check int) "two" 2 (A.length b)
+
+let test_program_counts () =
+  let ar =
+    P.build_ar ~id:3 ~name:"demo" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"a" ();
+        A.st b ~base:(I.Reg 0) ~src:(I.Reg 8) ~region:"b" ();
+        A.st b ~base:(I.Reg 1) ~src:(I.Imm 0) ~region:"b" ();
+        A.halt b)
+  in
+  Alcotest.(check int) "instructions" 4 (P.instruction_count ar);
+  Alcotest.(check int) "stores" 2 (P.store_count ar);
+  Alcotest.(check (list string)) "written regions" [ "b" ] (P.regions_written ar);
+  Alcotest.(check (list string)) "read regions" [ "a" ] (P.regions_read ar);
+  Alcotest.(check int) "id" 3 ar.P.id
+
+let test_program_invalid () =
+  Alcotest.check_raises "invalid body rejected"
+    (Invalid_argument "Program.make_ar bad: body contains no halt") (fun () ->
+      ignore (P.make_ar ~id:0 ~name:"bad" [| I.Nop |]))
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  let ar =
+    P.build_ar ~id:0 ~name:"pp" (fun b ->
+        A.ld b ~dst:2 ~base:(I.Reg 1) ~off:3 ~region:"zone" ();
+        A.halt b)
+  in
+  let s = Format.asprintf "%a" P.pp ar in
+  Alcotest.(check bool) "mentions halt" true (contains s "halt");
+  Alcotest.(check bool) "mentions region" true (contains s "zone");
+  let i = Format.asprintf "%a" I.pp (I.Binop { op = I.Xor; dst = 1; a = I.Reg 2; b = I.Imm 7 }) in
+  Alcotest.(check string) "binop rendering" "xor r1, r2, #7" i
+
+let prop_eval_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:200 QCheck.(pair int int) (fun (a, b) ->
+      I.eval_binop I.Add a b = I.eval_binop I.Add b a)
+
+let prop_min_max_bracket =
+  QCheck.Test.make ~name:"min <= max" ~count:200 QCheck.(pair int int) (fun (a, b) ->
+      I.eval_binop I.Min a b <= I.eval_binop I.Max a b)
+
+let prop_cond_total =
+  QCheck.Test.make ~name:"lt/ge partition" ~count:200 QCheck.(pair int int) (fun (a, b) ->
+      I.eval_cond I.Lt a b <> I.eval_cond I.Ge a b)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "instr",
+        [
+          Alcotest.test_case "binop semantics" `Quick test_binop_semantics;
+          Alcotest.test_case "cond semantics" `Quick test_cond_semantics;
+          Alcotest.test_case "base cost" `Quick test_base_cost;
+          Alcotest.test_case "is_mem" `Quick test_is_mem;
+          Alcotest.test_case "validate" `Quick test_validate;
+        ]
+        @ qsuite [ prop_eval_add_commutes; prop_min_max_bracket; prop_cond_total ] );
+      ( "asm",
+        [
+          Alcotest.test_case "labels" `Quick test_asm_labels;
+          Alcotest.test_case "unplaced label" `Quick test_asm_unplaced_label;
+          Alcotest.test_case "double place" `Quick test_asm_double_place;
+          Alcotest.test_case "length" `Quick test_asm_length;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "counts and regions" `Quick test_program_counts;
+          Alcotest.test_case "invalid body" `Quick test_program_invalid;
+          Alcotest.test_case "pretty printing" `Quick test_pp_smoke;
+        ] );
+    ]

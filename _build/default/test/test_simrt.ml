@@ -1,0 +1,256 @@
+(* Unit and property tests for the simulator runtime: RNG, event queue,
+   statistical summaries, counters. *)
+
+module Rng = Simrt.Rng
+module Event_queue = Simrt.Event_queue
+module Summary = Simrt.Summary
+module Counter = Simrt.Counter
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 42 in
+  let child1 = Rng.split parent 1 in
+  (* Drawing from the parent must not change what a later identical split
+     yields. *)
+  let _ = Rng.next_int64 parent in
+  let child1' = Rng.split parent 1 in
+  Alcotest.(check int64) "split is draw-order independent" (Rng.next_int64 child1)
+    (Rng.next_int64 child1')
+
+let test_rng_split_distinct () =
+  let parent = Rng.create 42 in
+  let c1 = Rng.split parent 1 and c2 = Rng.split parent 2 in
+  Alcotest.(check bool) "salted splits differ" true (Rng.next_int64 c1 <> Rng.next_int64 c2)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 1 in
+  Alcotest.(check bool) "p=0" false (Rng.chance rng 0.0);
+  Alcotest.(check bool) "p=1" true (Rng.chance rng 1.0)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in stays in range" ~count:500
+    QCheck.(triple small_int (int_range (-100) 100) (int_range 0 200))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create seed in
+      let hi = lo + span in
+      let v = Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let prop_zipf_bounds =
+  QCheck.Test.make ~name:"Rng.zipf stays in [0, n)" ~count:500
+    QCheck.(triple small_int (int_range 1 100) (float_range 0.0 3.0))
+    (fun (seed, n, theta) ->
+      let rng = Rng.create seed in
+      let v = Rng.zipf rng ~n ~theta in
+      v >= 0 && v < n)
+
+let test_zipf_skew () =
+  (* With strong skew, index 0's bucket should dominate. *)
+  let rng = Rng.create 13 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = Rng.zipf rng ~n:10 ~theta:2.0 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "low indices dominate" true (counts.(0) > counts.(9) * 3)
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:5 "c";
+  Event_queue.push q ~time:1 "a";
+  Event_queue.push q ~time:3 "b";
+  let pop () = match Event_queue.pop q with Some (_, x) -> x | None -> "-" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun x -> Event_queue.push q ~time:7 x) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> match Event_queue.pop q with Some (_, x) -> x | None -> -1) in
+  Alcotest.(check (list int)) "FIFO among equal times" [ 1; 2; 3; 4 ] order
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option int)) "empty peek" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:9 ();
+  Event_queue.push q ~time:2 ();
+  Alcotest.(check (option int)) "min time" (Some 2) (Event_queue.peek_time q)
+
+let test_queue_clear () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1 ();
+  Event_queue.clear q;
+  Alcotest.(check int) "cleared" 0 (Event_queue.length q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"pops come out time-sorted" ~count:200
+    QCheck.(list (int_range 0 10_000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t t) times;
+      let rec drain acc =
+        match Event_queue.pop q with Some (t, _) -> drain (t :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+(* ------------------------------------------------------------------ *)
+(* Summary *)
+
+let test_mean () =
+  check_float "mean" 2.0 (Summary.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty" 0.0 (Summary.mean [])
+
+let test_median () =
+  check_float "odd" 2.0 (Summary.median [ 3.0; 1.0; 2.0 ]);
+  check_float "even" 2.5 (Summary.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_trimmed_mean () =
+  (* The outlier 100 is farthest from the median and gets dropped. *)
+  check_float "drops outlier" 2.0 (Summary.trimmed_mean ~trim:1 [ 1.0; 2.0; 3.0; 100.0 ]);
+  check_float "degrades to mean" 51.0 (Summary.trimmed_mean ~trim:5 [ 2.0; 100.0 ])
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Summary.geomean [ 1.0; 2.0; 4.0 ]);
+  check_float "identity" 5.0 (Summary.geomean [ 5.0 ])
+
+let test_stddev () =
+  check_float "constant" 0.0 (Summary.stddev [ 3.0; 3.0; 3.0 ]);
+  check_float "simple" 1.0 (Summary.stddev [ 1.0; 3.0; 1.0; 3.0 ])
+
+let test_min_max () =
+  let lo, hi = Summary.min_max [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi;
+  Alcotest.check_raises "empty raises" (Invalid_argument "Summary.min_max: empty list") (fun () ->
+      ignore (Summary.min_max []))
+
+let prop_trimmed_mean_bracketed =
+  QCheck.Test.make ~name:"trimmed mean lies within [min, max]" ~count:200
+    QCheck.(pair (int_range 0 3) (list_of_size Gen.(int_range 1 20) (float_range (-100.0) 100.0)))
+    (fun (trim, xs) ->
+      let m = Summary.trimmed_mean ~trim xs in
+      let lo, hi = Summary.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_median_bracketed =
+  QCheck.Test.make ~name:"median lies within [min, max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let m = Summary.median xs in
+      let lo, hi = Summary.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= mean for positive values" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0.1 100.0))
+    (fun xs -> Summary.geomean xs <= Summary.mean xs +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Counter *)
+
+let test_counter_basic () =
+  let set = Counter.create_set () in
+  Counter.incr set "a";
+  Counter.add set "a" 4;
+  Counter.incr set "b";
+  Alcotest.(check int) "a" 5 (Counter.get set "a");
+  Alcotest.(check int) "b" 1 (Counter.get set "b");
+  Alcotest.(check int) "missing" 0 (Counter.get set "zzz");
+  Alcotest.(check (list (pair string int))) "sorted listing" [ ("a", 5); ("b", 1) ] (Counter.to_list set)
+
+let test_counter_merge () =
+  let a = Counter.create_set () and b = Counter.create_set () in
+  Counter.add a "x" 2;
+  Counter.add b "x" 3;
+  Counter.add b "y" 1;
+  Counter.merge_into ~dst:a b;
+  Alcotest.(check int) "merged x" 5 (Counter.get a "x");
+  Alcotest.(check int) "merged y" 1 (Counter.get a "y")
+
+let test_counter_reset () =
+  let set = Counter.create_set () in
+  Counter.incr set "a";
+  Counter.reset set;
+  Alcotest.(check int) "reset" 0 (Counter.get set "a")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "simrt"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independent of draws" `Quick test_rng_split_independent;
+          Alcotest.test_case "splits distinct" `Quick test_rng_split_distinct;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        ]
+        @ qsuite [ prop_int_bounds; prop_int_in_bounds; prop_zipf_bounds ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "FIFO ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "clear" `Quick test_queue_clear;
+        ]
+        @ qsuite [ prop_queue_sorted ] );
+      ( "summary",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "trimmed mean" `Quick test_trimmed_mean;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+        ]
+        @ qsuite [ prop_geomean_le_mean; prop_trimmed_mean_bracketed; prop_median_bracketed ] );
+      ( "counter",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "merge" `Quick test_counter_merge;
+          Alcotest.test_case "reset" `Quick test_counter_reset;
+        ] );
+    ]

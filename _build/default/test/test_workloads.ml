@@ -1,0 +1,186 @@
+(* Tests for the workload definitions themselves: layout, drivers, setup
+   postconditions, AR shape. *)
+
+module Workload = Machine.Workload
+module Store = Mem.Store
+module Rng = Simrt.Rng
+module P = Isa.Program
+
+let test_layout_alignment () =
+  let l = Workloads.Layout.create () in
+  let a = Workloads.Layout.alloc_line l in
+  Alcotest.(check int) "line aligned" 0 (a mod 8);
+  let _ = Workloads.Layout.alloc_words l 3 in
+  let b = Workloads.Layout.alloc_line l in
+  Alcotest.(check int) "realigned after packed alloc" 0 (b mod 8);
+  Alcotest.(check bool) "monotonic" true (b > a);
+  let c = Workloads.Layout.alloc_lines l 4 in
+  Alcotest.(check int) "multi-line block" 0 (c mod 8);
+  Alcotest.(check bool) "high-water mark" true (Workloads.Layout.used_words l >= c + 32)
+
+let test_registry_complete () =
+  Alcotest.(check int) "19 benchmarks" 19 (List.length Workloads.Registry.all);
+  Alcotest.(check int) "9 data structures" 9 (List.length Workloads.Registry.data_structures);
+  Alcotest.(check int) "10 STAMP kernels" 10 (List.length Workloads.Registry.stamp);
+  Alcotest.(check bool) "find works" true ((Workloads.Registry.find "bst").Workload.name = "bst");
+  Alcotest.check_raises "unknown raises" Not_found (fun () ->
+      ignore (Workloads.Registry.find "nope"))
+
+let test_registry_names_unique () =
+  let names = Workloads.Registry.names in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_ar_ids_unique_per_workload () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let ids = List.map (fun (ar : P.ar) -> ar.P.id) w.ars in
+      Alcotest.(check int) (w.name ^ " AR ids unique") (List.length ids)
+        (List.length (List.sort_uniq compare ids)))
+    Workloads.Registry.all
+
+let test_table1_ar_counts () =
+  let expected =
+    [
+      ("arrayswap", 2); ("bitcoin", 1); ("bst", 3); ("deque", 2); ("hashmap", 3); ("mwobject", 1);
+      ("queue", 2); ("stack", 2); ("sorted-list", 3); ("bayes", 14); ("genome", 5); ("intruder", 3);
+      ("kmeans-h", 3); ("kmeans-l", 3); ("labyrinth", 3); ("ssca2", 3); ("vacation-h", 3);
+      ("vacation-l", 3); ("yada", 6);
+    ]
+  in
+  List.iter
+    (fun (name, count) ->
+      let w = Workloads.Registry.find name in
+      Alcotest.(check int) (name ^ " AR count") count (List.length w.Workload.ars))
+    expected
+
+(* Drivers must produce ops whose registers point inside the workload's
+   declared memory, and whose AR belongs to the workload. *)
+let test_driver_ops_well_formed () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let store = Store.create ~words:(max w.memory_words (1 lsl 18)) in
+      w.setup store (Rng.create 1);
+      let driver = w.make_driver ~tid:0 ~threads:4 store (Rng.create 2) in
+      for _ = 1 to 200 do
+        let op = driver () in
+        Alcotest.(check bool)
+          (w.name ^ " op uses a static AR")
+          true
+          (List.exists (fun (ar : P.ar) -> ar == op.Workload.ar) w.ars);
+        List.iter
+          (fun (r, v) ->
+            Alcotest.(check bool) (w.name ^ " register index valid") true (r >= 0 && r < 32);
+            ignore v)
+          op.Workload.init_regs
+      done)
+    Workloads.Registry.all
+
+let test_setup_idempotent_under_seed () =
+  (* Same seed -> byte-identical initial memory. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let words = max w.memory_words (1 lsl 18) in
+      let s1 = Store.create ~words and s2 = Store.create ~words in
+      w.setup s1 (Rng.create 7);
+      w.setup s2 (Rng.create 7);
+      let same = ref true in
+      for i = 0 to words - 1 do
+        if Store.read s1 i <> Store.read s2 i then same := false
+      done;
+      Alcotest.(check bool) (w.name ^ " setup deterministic") true !same)
+    Workloads.Registry.all
+
+let test_bst_setup_valid_tree () =
+  let w = Workloads.Bst.workload in
+  let store = Store.create ~words:w.Workload.memory_words in
+  w.Workload.setup store (Rng.create 3);
+  let root = Store.read store 64 in
+  let rec check node lo hi =
+    if node <> 0 then begin
+      let key = Store.read store node in
+      Alcotest.(check bool) "bst order" true (key > lo && key < hi);
+      check (Store.read store (node + 1)) lo key;
+      check (Store.read store (node + 2)) key hi
+    end
+  in
+  check root min_int max_int
+
+let test_sorted_list_setup_sorted () =
+  let w = Workloads.Sorted_list.workload in
+  let store = Store.create ~words:w.Workload.memory_words in
+  w.Workload.setup store (Rng.create 3);
+  let rec walk node last =
+    if node <> 0 then begin
+      let key = Store.read store node in
+      Alcotest.(check bool) "ascending" true (key > last);
+      walk (Store.read store (node + 1)) key
+    end
+  in
+  walk (Store.read store 64) min_int
+
+let test_bitcoin_setup_balances () =
+  let w = Workloads.Bitcoin.make ~wallets:8 () in
+  let store = Store.create ~words:w.Workload.memory_words in
+  w.Workload.setup store (Rng.create 3);
+  for i = 0 to 7 do
+    let wallet = Store.read store (64 + i) in
+    Alcotest.(check int) "initial balance" 10_000 (Store.read store wallet)
+  done
+
+let test_vacation_chains_intact () =
+  let w = Workloads.Vacation.make ~resources:3 ~chain:4 ~name:"vac-test" () in
+  let store = Store.create ~words:w.Workload.memory_words in
+  w.Workload.setup store (Rng.create 3);
+  (* every chain has exactly [chain] records *)
+  for r = 0 to 2 do
+    let head = 64 + (r * 8) in
+    let rec count node n = if node = 0 then n else count (Store.read store (node + 3)) (n + 1) in
+    Alcotest.(check int) "chain length" 4 (count (Store.read store head) 0)
+  done
+
+let test_mailboxes_distinct_lines () =
+  let l = Workloads.Layout.create () in
+  let boxes = Workloads.Common.mailboxes l ~threads:8 in
+  let lines = Array.map (fun a -> a / 8) boxes in
+  let unique = Array.to_list lines |> List.sort_uniq compare in
+  Alcotest.(check int) "one line each" 8 (List.length unique)
+
+let test_ar_bodies_have_stores_or_mailbox () =
+  (* Every AR either writes memory or deposits into a mailbox — no pure
+     no-op regions slipped in. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun (ar : P.ar) ->
+          Alcotest.(check bool) (w.name ^ "/" ^ ar.P.name ^ " stores something") true
+            (P.store_count ar > 0))
+        w.ars)
+    Workloads.Registry.all
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("layout", [ Alcotest.test_case "alignment" `Quick test_layout_alignment ]);
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "unique names" `Quick test_registry_names_unique;
+          Alcotest.test_case "unique AR ids" `Quick test_ar_ids_unique_per_workload;
+          Alcotest.test_case "Table 1 AR counts" `Quick test_table1_ar_counts;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "ops well-formed" `Quick test_driver_ops_well_formed;
+          Alcotest.test_case "setup deterministic" `Quick test_setup_idempotent_under_seed;
+        ] );
+      ( "setup postconditions",
+        [
+          Alcotest.test_case "bst tree valid" `Quick test_bst_setup_valid_tree;
+          Alcotest.test_case "sorted list sorted" `Quick test_sorted_list_setup_sorted;
+          Alcotest.test_case "bitcoin balances" `Quick test_bitcoin_setup_balances;
+          Alcotest.test_case "vacation chains" `Quick test_vacation_chains_intact;
+          Alcotest.test_case "mailboxes distinct" `Quick test_mailboxes_distinct_lines;
+        ] );
+      ("shape", [ Alcotest.test_case "ARs store something" `Quick test_ar_bodies_have_stores_or_mailbox ]);
+    ]
