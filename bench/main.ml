@@ -5,6 +5,14 @@
      dune exec bench/main.exe                  -- everything (quick-sized)
      dune exec bench/main.exe fig8             -- one artefact
      dune exec bench/main.exe -- --paper all   -- paper-sized sweep (slow)
+     dune exec bench/main.exe -- --jobs 8 fig8 -- sweep on 8 domains
+
+   The suite runs on a pool of OCaml domains (--jobs N, default: host cores
+   minus one) and is memoised on disk under _cache/ keyed by the sweep
+   options, the workload list and the executable's digest, so later artefact
+   invocations skip the sweep entirely. --no-cache bypasses the disk cache
+   (it neither reads nor writes); --smoke selects a tiny fixed suite used by
+   bench/perf_smoke.sh.
 
    Artefacts: table1 table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 headline
    ablation micro all *)
@@ -26,19 +34,83 @@ let quick_suite_options =
     retry_choices = [ 1; 2; 4; 8 ];
   }
 
+(* Tiny fixed suite for perf smoke-testing: seconds, not minutes, even on one
+   core, yet still the full 4-config x 19-benchmark cross product. *)
+let smoke_suite_options =
+  {
+    Experiments.cores = 4;
+    ops_per_thread = 40;
+    seeds = [ 3; 5 ];
+    trim = 0;
+    retry_choices = [ 2; 5 ];
+  }
+
 let progress label = Printf.eprintf "[bench] %s\n%!" label
 
-(* The suite is computed once and reused by every figure. *)
+let jobs = ref (Simrt.Pool.default_jobs ())
+
+let use_disk_cache = ref true
+
+(* The suite is computed once per process and reused by every figure
+   (in-memory cache), and additionally memoised on disk so that subsequent
+   invocations of the executable skip the sweep. The disk entry is keyed by
+   everything that determines the result: the sweep options, the workload
+   list, and a digest of the executable itself (so any rebuild invalidates
+   every cached suite). *)
 let suite_cache : Experiments.suite option ref = ref None
+
+let cache_dir = "_cache"
+
+let build_id = lazy (Digest.to_hex (Digest.file Sys.executable_name))
+
+let suite_cache_path opts =
+  let key =
+    Digest.to_hex
+      (Digest.string
+         (Marshal.to_string
+            (opts, List.map (fun (w : Machine.Workload.t) -> w.name) Workloads.Registry.all,
+             Lazy.force build_id)
+            []))
+  in
+  Filename.concat cache_dir ("suite-" ^ key ^ ".bin")
+
+let load_cached_suite path : Experiments.suite option =
+  if not (Sys.file_exists path) then None
+  else
+    match In_channel.with_open_bin path Marshal.from_channel with
+    | s -> Some s
+    | exception _ ->
+        progress (Printf.sprintf "ignoring unreadable cache %s" path);
+        None
+
+let save_cached_suite path (s : Experiments.suite) =
+  (try Unix.mkdir cache_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc s []);
+  Sys.rename tmp path;
+  progress (Printf.sprintf "cached suite at %s" path)
 
 let get_suite opts =
   match !suite_cache with
   | Some s -> s
   | None ->
-      progress "running full suite (4 configs x 19 benchmarks x retry sweep)...";
-      let t0 = Unix.gettimeofday () in
-      let s = Experiments.run_suite ~progress opts in
-      progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
+      let path = suite_cache_path opts in
+      let s =
+        match if !use_disk_cache then load_cached_suite path else None with
+        | Some s ->
+            progress (Printf.sprintf "suite loaded from %s" path);
+            s
+        | None ->
+            progress
+              (Printf.sprintf
+                 "running full suite (4 configs x 19 benchmarks x retry sweep) on %d domain(s)..."
+                 !jobs);
+            let t0 = Unix.gettimeofday () in
+            let s = Experiments.run_suite ~jobs:!jobs ~progress opts in
+            progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
+            if !use_disk_cache then save_cached_suite path s;
+            s
+      in
       suite_cache := Some s;
       s
 
@@ -67,7 +139,7 @@ let ablation opts =
     (fun (w : Machine.Workload.t) ->
       List.iter
         (fun (label, cfg) ->
-          let m = Run.measure cfg w ~seeds:opts.Experiments.seeds ~trim:opts.Experiments.trim in
+          let m = Run.measure ~jobs:!jobs cfg w ~seeds:opts.Experiments.seeds ~trim:opts.Experiments.trim in
           let mode m' = List.assoc m' m.Run.commit_mode_fractions in
           Table.add_row t
             [
@@ -99,7 +171,7 @@ let sle_comparison opts =
       let w = Workloads.Registry.find name in
       let cell letter frontend =
         let cfg = Config.with_frontend (Experiments.config_of_letter opts letter) frontend in
-        let m = Run.measure cfg w ~seeds:opts.Experiments.seeds ~trim:opts.Experiments.trim in
+        let m = Run.measure ~jobs:!jobs cfg w ~seeds:opts.Experiments.seeds ~trim:opts.Experiments.trim in
         Printf.sprintf "%.0f" m.Run.cycles
       in
       Table.add_row t
@@ -192,8 +264,15 @@ let run_bechamel () =
               match Analyze.OLS.estimates a with Some [ e ] -> e | Some _ | None -> nan
             with _ -> nan
           in
-          Table.add_row t [ name; Printf.sprintf "%.0f" estimate ])
-        (Benchmark.all cfg instances test |> Hashtbl.to_seq |> List.of_seq |> List.sort compare))
+          (* Report failed estimates explicitly rather than printing "nan". *)
+          let cell =
+            if Float.is_nan estimate then "n/a (no estimate)" else Printf.sprintf "%.0f" estimate
+          in
+          Table.add_row t [ name; cell ])
+        (* Sort by the test-name key only: Bechamel result values contain
+           abstract structures for which polymorphic compare is meaningless. *)
+        (Benchmark.all cfg instances test |> Hashtbl.to_seq |> List.of_seq
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)))
     tests;
   emit "micro" t
 
@@ -232,17 +311,32 @@ let artefacts opts =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
-  let opts = if paper then Experiments.default_options else quick_suite_options in
-  let rec strip_csv acc = function
+  let smoke = List.mem "--smoke" args in
+  let opts =
+    if smoke then smoke_suite_options
+    else if paper then Experiments.default_options
+    else quick_suite_options
+  in
+  let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
         csv_dir := Some dir;
         (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-        strip_csv acc rest
-    | a :: rest -> strip_csv (a :: acc) rest
+        strip_flags acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | Some _ | None ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 2);
+        strip_flags acc rest
+    | "--no-cache" :: rest ->
+        use_disk_cache := false;
+        strip_flags acc rest
+    | a :: rest -> strip_flags (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_csv [] args in
-  let wanted = List.filter (fun a -> a <> "--paper") args in
+  let args = strip_flags [] args in
+  let wanted = List.filter (fun a -> a <> "--paper" && a <> "--smoke") args in
   let wanted = if wanted = [] || List.mem "all" wanted then List.map fst (artefacts opts) else wanted in
   let available = artefacts opts in
   List.iter

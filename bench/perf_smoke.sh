@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# Perf smoke test for the parallel suite runner.
+#
+# Runs the tiny fixed suite (bench/main.exe --smoke fig8) once sequentially
+# and once on 4 domains, verifies the two outputs are byte-identical (the
+# determinism guarantee), and records both wall-clock times in
+# BENCH_suite.json so the perf trajectory is tracked across PRs.
+#
+# The disk cache is bypassed (--no-cache) so both runs actually compute.
+# On hosts with >= 4 real cores the jobs-4 run should be >= 2x faster; on
+# smaller hosts the JSON still records the honest numbers together with the
+# host core count.
+#
+# Usage: sh bench/perf_smoke.sh   (from the repository root or bench/)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe 2>&1
+BIN=_build/default/bench/main.exe
+
+HOST_CORES=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n 1)
+
+now_ms() {
+  # POSIX date has no sub-second precision; prefer %N when GNU date is there.
+  t=$(date +%s%N 2>/dev/null)
+  case "$t" in
+    *N) echo "$(date +%s)000" ;;
+    *) echo "$((t / 1000000))" ;;
+  esac
+}
+
+run_timed() { # $1 = jobs, $2 = output file; prints elapsed ms
+  start=$(now_ms)
+  "$BIN" --smoke --no-cache --jobs "$1" fig8 >"$2" 2>/dev/null
+  end=$(now_ms)
+  echo "$((end - start))"
+}
+
+OUT1=$(mktemp) OUT4=$(mktemp)
+trap 'rm -f "$OUT1" "$OUT4"' EXIT
+
+echo "[perf_smoke] sequential run (--jobs 1)..."
+MS1=$(run_timed 1 "$OUT1")
+echo "[perf_smoke] parallel run (--jobs 4)..."
+MS4=$(run_timed 4 "$OUT4")
+
+if ! cmp -s "$OUT1" "$OUT4"; then
+  echo "[perf_smoke] FAIL: --jobs 1 and --jobs 4 outputs differ" >&2
+  diff "$OUT1" "$OUT4" >&2 || true
+  exit 1
+fi
+echo "[perf_smoke] outputs identical across job counts"
+
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $MS1 / ($MS4 == 0 ? 1 : $MS4) }")
+
+cat >BENCH_suite.json <<EOF
+{
+  "suite": "smoke-fig8 (4 configs x 19 benchmarks, 4 cores, 40 ops, 2 seeds, retries [2,5])",
+  "host_cores": $HOST_CORES,
+  "jobs1_wall_ms": $MS1,
+  "jobs4_wall_ms": $MS4,
+  "speedup_jobs4_over_jobs1": $SPEEDUP,
+  "outputs_identical": true
+}
+EOF
+
+echo "[perf_smoke] jobs=1: ${MS1} ms   jobs=4: ${MS4} ms   speedup: ${SPEEDUP}x (host has ${HOST_CORES} core(s))"
+echo "[perf_smoke] wrote BENCH_suite.json"

@@ -2,6 +2,7 @@
 
    `clear_sim list`                         enumerate benchmarks
    `clear_sim run -w bst -c W ...`          run one benchmark/config
+   `clear_sim suite --jobs 8`               full 4-config sweep on 8 domains
    `clear_sim analyze [-w bst]`             static AR classification
    `clear_sim config -c B`                  print the machine configuration *)
 
@@ -131,6 +132,42 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one configuration.") term
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep (default: host cores minus one). Results are \
+     bit-identical at any job count."
+  in
+  Arg.(value & opt int (Simrt.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~doc)
+
+let suite_cmd =
+  let module Experiments = Clear_repro.Experiments in
+  let suite jobs paper workload =
+    let opts = if paper then Experiments.default_options else Experiments.quick_options in
+    let workloads =
+      match workload with
+      | None -> Workloads.Registry.all
+      | Some name -> [ find_workload name ]
+    in
+    let progress label = Printf.eprintf "[suite] %s\n%!" label in
+    let t0 = Unix.gettimeofday () in
+    let s = Experiments.run_suite ~jobs ~workloads ~progress opts in
+    Printf.eprintf "[suite] done in %.1f s on %d domain(s)\n%!" (Unix.gettimeofday () -. t0) jobs;
+    Report.Table.print (Experiments.fig8 s);
+    print_newline ();
+    Report.Table.print (Experiments.headline s)
+  in
+  let paper_arg =
+    Arg.(value & flag & info [ "paper" ] ~doc:"Paper-sized sweep (10 seeds, retries 1..10); slow.")
+  in
+  let workload_filter =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~doc:"Restrict the sweep to one benchmark.")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run the 4-configuration sweep on a pool of domains; print Figure 8 and the headline.")
+    Term.(const suite $ jobs_arg $ paper_arg $ workload_filter)
+
 let list_cmd =
   let list () =
     List.iter
@@ -168,4 +205,4 @@ let config_cmd =
 
 let () =
   let info = Cmd.info "clear_sim" ~doc:"CLEAR bounded-retry HTM simulator." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; list_cmd; analyze_cmd; config_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; suite_cmd; list_cmd; analyze_cmd; config_cmd ]))

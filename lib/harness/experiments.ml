@@ -45,7 +45,32 @@ let config_of_letter opts letter =
   | Some cfg -> cfg
   | None -> invalid_arg ("config_of_letter: unknown preset " ^ letter)
 
-let run_suite ?(workloads = Workloads.Registry.all) ?(progress = fun _ -> ()) opts =
+(* The whole suite is flattened into one task list whose unit of work is a
+   single (config, workload, seed) simulation, submitted to a domain pool.
+   [Simrt.Pool.parallel_map] preserves input order and every simulation is
+   self-contained (own store/hierarchy/stats, explicit seeding), so the
+   aggregation below walks the same nested cross-product in the same order
+   regardless of [jobs] — results are bit-identical to the sequential run. *)
+let run_suite ?(jobs = 1) ?(workloads = Workloads.Registry.all) ?(progress = fun _ -> ()) opts =
+  let tasks =
+    List.concat_map
+      (fun (w : Machine.Workload.t) ->
+        List.concat_map
+          (fun (_letter, cfg) ->
+            List.concat_map
+              (fun n -> Run.sims (Machine.Config.with_retries cfg n) w ~seeds:opts.seeds)
+              opts.retry_choices)
+          (presets opts))
+      workloads
+  in
+  let results = Array.of_list (Simrt.Pool.parallel_map ~jobs Run.run_sim tasks) in
+  let per_seed = List.length opts.seeds in
+  let next = ref 0 in
+  let take () =
+    let runs = List.init per_seed (fun j -> results.(!next + j)) in
+    next := !next + per_seed;
+    runs
+  in
   let rows =
     List.map
       (fun (w : Machine.Workload.t) ->
@@ -53,9 +78,13 @@ let run_suite ?(workloads = Workloads.Registry.all) ?(progress = fun _ -> ()) op
           List.map
             (fun (letter, cfg) ->
               progress (Printf.sprintf "%s/%s" w.name letter);
-              ( letter,
-                Run.measure_best_retries cfg w ~seeds:opts.seeds ~trim:opts.trim
-                  ~retry_choices:opts.retry_choices ))
+              let candidates =
+                List.map
+                  (fun n ->
+                    Run.of_stats (Machine.Config.with_retries cfg n) w ~trim:opts.trim (take ()))
+                  opts.retry_choices
+              in
+              (letter, Run.best candidates))
             (presets opts)
         in
         (w.name, per_preset))
@@ -77,6 +106,12 @@ let workload_names suite = List.map fst suite.rows
 
 (* Append a geomean row computed from per-workload values. *)
 let geo values = Summary.geomean values
+
+(* Accumulate per-key value lists while walking the suite. *)
+let add_to_bucket tbl key v =
+  Hashtbl.replace tbl key (v :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+
+let bucket tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:[]
 
 (* ------------------------------------------------------------------ *)
 
@@ -129,7 +164,7 @@ let normalised_table suite ~title ~value =
           (fun letter ->
             let v = value (get suite name letter) in
             let norm = if base > 0.0 then v /. base else 0.0 in
-            Hashtbl.replace per_letter letter (norm :: (try Hashtbl.find per_letter letter with Not_found -> []));
+            add_to_bucket per_letter letter norm;
             Table.f3 norm)
           letters
       in
@@ -137,8 +172,7 @@ let normalised_table suite ~title ~value =
     (workload_names suite);
   Table.add_separator t;
   Table.add_row t
-    ("geomean"
-    :: List.map (fun letter -> Table.f3 (geo (try Hashtbl.find per_letter letter with Not_found -> []))) letters);
+    ("geomean" :: List.map (fun letter -> Table.f3 (geo (bucket per_letter letter))) letters);
   t
 
 let fig8 suite =
@@ -169,16 +203,14 @@ let fig9 suite =
         :: List.map
              (fun letter ->
                let v = (get suite name letter).Run.aborts_per_commit in
-               Hashtbl.replace per_letter letter (v :: (try Hashtbl.find per_letter letter with Not_found -> []));
+               add_to_bucket per_letter letter v;
                Table.f2 v)
              letters))
     (workload_names suite);
   Table.add_separator t;
   Table.add_row t
     ("average"
-    :: List.map
-         (fun letter -> Table.f2 (Summary.mean (try Hashtbl.find per_letter letter with Not_found -> [])))
-         letters);
+    :: List.map (fun letter -> Table.f2 (Summary.mean (bucket per_letter letter))) letters);
   t
 
 let fig10 suite =
@@ -223,10 +255,7 @@ let fig12 suite =
           let r = get suite name letter in
           let m mode = List.assoc mode r.Run.commit_mode_fractions in
           List.iter
-            (fun mode ->
-              let key = (letter, mode) in
-              let prev = try Hashtbl.find totals key with Not_found -> [] in
-              Hashtbl.replace totals key (m mode :: prev))
+            (fun mode -> add_to_bucket totals (letter, mode) (m mode))
             Machine.Stats.all_commit_modes;
           Table.add_row t
             [
@@ -242,7 +271,7 @@ let fig12 suite =
     (workload_names suite);
   List.iter
     (fun letter ->
-      let avg mode = Summary.mean (try Hashtbl.find totals (letter, mode) with Not_found -> []) in
+      let avg mode = Summary.mean (bucket totals (letter, mode)) in
       Table.add_row t
         [
           "average";
@@ -267,15 +296,14 @@ let fig13 suite =
         (fun letter ->
           let r = get suite name letter in
           let one, many, fb = r.Run.retry_breakdown in
-          let prev = try Hashtbl.find totals letter with Not_found -> [] in
-          Hashtbl.replace totals letter ((one, many, fb) :: prev);
+          add_to_bucket totals letter (one, many, fb);
           Table.add_row t [ name; letter; Table.pct one; Table.pct many; Table.pct fb ])
         letters;
       Table.add_separator t)
     (workload_names suite);
   List.iter
     (fun letter ->
-      let rows = try Hashtbl.find totals letter with Not_found -> [] in
+      let rows = bucket totals letter in
       let avg f = Summary.mean (List.map f rows) in
       Table.add_row t
         [

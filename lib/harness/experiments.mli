@@ -28,7 +28,16 @@ type suite = {
       (** per workload, the four presets' measurements keyed by letter *)
 }
 
-val run_suite : ?workloads:Machine.Workload.t list -> ?progress:(string -> unit) -> options -> suite
+val run_suite :
+  ?jobs:int ->
+  ?workloads:Machine.Workload.t list ->
+  ?progress:(string -> unit) ->
+  options ->
+  suite
+(** Run the whole sweep, flattened into one (config, workload, seed) task
+    list executed on [jobs] worker domains (default 1 = sequential). Any job
+    count yields bit-identical results: every simulation is self-contained
+    and explicitly seeded, and aggregation order does not depend on [jobs]. *)
 
 val config_of_letter : options -> string -> Machine.Config.t
 

@@ -18,14 +18,20 @@ type t = {
   fig1_ratio : float;
 }
 
+type sim = { cfg : Machine.Config.t; workload : Machine.Workload.t; seed : int }
+
+let sims cfg workload ~seeds = List.map (fun seed -> { cfg; workload; seed }) seeds
+
+let run_sim { cfg; workload; seed } =
+  Machine.Engine.run_workload (Machine.Config.with_seed cfg seed) workload
+
 let tmean ~trim xs = Summary.trimmed_mean ~trim xs
 
-let measure (cfg : Machine.Config.t) (workload : Machine.Workload.t) ~seeds ~trim =
-  let runs =
-    List.map
-      (fun seed -> Machine.Engine.run_workload (Machine.Config.with_seed cfg seed) workload)
-      seeds
-  in
+(* Aggregate the per-seed runs of one (config, workload) pair. The seed order
+   of [runs] is part of the result: trimmed means are computed over the list
+   as given, so the caller must keep runs in the seed-list order for results
+   to be reproducible across job counts. *)
+let of_stats (cfg : Machine.Config.t) (workload : Machine.Workload.t) ~trim runs =
   let over f = tmean ~trim (List.map f runs) in
   let cycles = over (fun s -> float_of_int (Stats.total_cycles s)) in
   let energy =
@@ -80,12 +86,30 @@ let measure (cfg : Machine.Config.t) (workload : Machine.Workload.t) ~seeds ~tri
     fig1_ratio = over Stats.fig1_ratio;
   }
 
-let measure_best_retries cfg workload ~seeds ~trim ~retry_choices =
+let best = function
+  | [] -> invalid_arg "Run.best: empty candidate list"
+  | hd :: tl -> List.fold_left (fun best m -> if m.cycles < best.cycles then m else best) hd tl
+
+let measure ?(jobs = 1) (cfg : Machine.Config.t) (workload : Machine.Workload.t) ~seeds ~trim =
+  let runs = Simrt.Pool.parallel_map ~jobs run_sim (sims cfg workload ~seeds) in
+  of_stats cfg workload ~trim runs
+
+let measure_best_retries ?(jobs = 1) cfg workload ~seeds ~trim ~retry_choices =
   match retry_choices with
   | [] -> invalid_arg "measure_best_retries: empty retry_choices"
   | choices ->
-      let candidates =
-        List.map (fun n -> measure (Machine.Config.with_retries cfg n) workload ~seeds ~trim) choices
+      let tasks =
+        List.concat_map
+          (fun n -> sims (Machine.Config.with_retries cfg n) workload ~seeds)
+          choices
       in
-      List.fold_left (fun best m -> if m.cycles < best.cycles then m else best)
-        (List.hd candidates) (List.tl candidates)
+      let results = Array.of_list (Simrt.Pool.parallel_map ~jobs run_sim tasks) in
+      let per_seed = List.length seeds in
+      let candidates =
+        List.mapi
+          (fun i n ->
+            let runs = List.init per_seed (fun j -> results.((i * per_seed) + j)) in
+            of_stats (Machine.Config.with_retries cfg n) workload ~trim runs)
+          choices
+      in
+      best candidates

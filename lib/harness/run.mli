@@ -1,7 +1,14 @@
 (** Multi-seed measurement of one (configuration, workload) pair.
 
     Follows the paper's protocol: run with several seeds, report the trimmed
-    mean after removing the farthest outliers. *)
+    mean after removing the farthest outliers.
+
+    The unit of work throughout the harness is a single {!sim} — one
+    (configuration, workload, seed) simulation. Each simulation builds its own
+    store/hierarchy/stats and draws from its own seeded RNG, so any set of
+    sims can run concurrently (e.g. via {!Simrt.Pool}) and aggregate to
+    bit-identical results as long as the per-seed order handed to
+    {!of_stats} is preserved. *)
 
 type t = {
   workload : string;
@@ -23,11 +30,35 @@ type t = {
   fig1_ratio : float;
 }
 
+(** {1 Single-simulation unit of work} *)
+
+type sim = { cfg : Machine.Config.t; workload : Machine.Workload.t; seed : int }
+(** One independent simulation. *)
+
+val sims : Machine.Config.t -> Machine.Workload.t -> seeds:int list -> sim list
+(** The per-seed task list of one (configuration, workload) pair, in seed
+    order. *)
+
+val run_sim : sim -> Machine.Stats.t
+(** Run one simulation to completion. Pure with respect to global state:
+    safe to call from several domains at once. *)
+
+val of_stats : Machine.Config.t -> Machine.Workload.t -> trim:int -> Machine.Stats.t list -> t
+(** Aggregate per-seed runs (in seed order) into a measurement. *)
+
+val best : t list -> t
+(** The candidate with the fewest cycles; earliest wins ties. Raises
+    [Invalid_argument] on an empty list. *)
+
+(** {1 Measurements} *)
+
 val measure :
-  Machine.Config.t -> Machine.Workload.t -> seeds:int list -> trim:int -> t
-(** One measurement at the configuration's own retry limit. *)
+  ?jobs:int -> Machine.Config.t -> Machine.Workload.t -> seeds:int list -> trim:int -> t
+(** One measurement at the configuration's own retry limit, running the
+    per-seed simulations on [jobs] domains (default 1 = inline). *)
 
 val measure_best_retries :
+  ?jobs:int ->
   Machine.Config.t ->
   Machine.Workload.t ->
   seeds:int list ->
@@ -35,4 +66,5 @@ val measure_best_retries :
   retry_choices:int list ->
   t
 (** The paper's methodology: sweep the retry limit and keep the
-    best-performing setting for this (configuration, application) pair. *)
+    best-performing setting for this (configuration, application) pair.
+    The whole retry-choice x seed cross-product is one flat task list. *)

@@ -1,0 +1,35 @@
+(** Fixed pool of OCaml 5 domains with a mutex/condition work queue.
+
+    The simulator itself is single-threaded and deterministic; the pool
+    parallelises *independent* simulations (one per (config, workload, seed))
+    across host cores. Each job builds its own state, so running the same
+    task list at any job count yields bit-identical results in the same
+    order. *)
+
+type t
+(** A pool of worker domains. One submitter at a time: [map] must not be
+    called concurrently from several domains on the same pool. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (the submitting domain keeps a
+    core), never below 1. *)
+
+val create : jobs:int -> t
+(** Spawn [max 1 jobs] worker domains, idle until work arrives. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] runs [f] on every element of [xs] on the pool's workers and
+    returns the results in input order. If any application raises, one such
+    exception is re-raised on the calling domain after all jobs finished. *)
+
+val shutdown : t -> unit
+(** Finish queued work, stop and join every worker. The pool must not be
+    used afterwards. *)
+
+val parallel_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: create a pool of [jobs] domains, [map], shut down.
+    [jobs <= 1] (or fewer than two elements) runs inline on the calling
+    domain, spawning nothing. *)

@@ -59,6 +59,39 @@ let test_config_of_letter () =
   Alcotest.check_raises "unknown letter" (Invalid_argument "config_of_letter: unknown preset X")
     (fun () -> ignore (Experiments.config_of_letter micro_options "X"))
 
+(* The tentpole guarantee: the parallel sweep is bit-identical to the
+   sequential one. Run.t contains only strings, ints, floats and variant
+   lists, so structural equality is exact (floats must match to the last
+   bit, not within a tolerance). *)
+let test_suite_parallel_identical () =
+  let seq = Experiments.run_suite ~jobs:1 ~workloads:micro_workloads micro_options in
+  let par = Experiments.run_suite ~jobs:4 ~workloads:micro_workloads micro_options in
+  Alcotest.(check bool) "jobs:4 suite equals jobs:1 suite" true
+    (seq.Experiments.rows = par.Experiments.rows);
+  List.iter2
+    (fun (wname, per_seq) (wname', per_par) ->
+      Alcotest.(check string) "same workload order" wname wname';
+      List.iter2
+        (fun (l, (a : Run.t)) (l', (b : Run.t)) ->
+          Alcotest.(check string) "same preset order" l l';
+          Alcotest.(check (float 0.0)) (wname ^ "/" ^ l ^ " cycles") a.Run.cycles b.Run.cycles;
+          Alcotest.(check (float 0.0)) (wname ^ "/" ^ l ^ " energy") a.Run.energy b.Run.energy;
+          Alcotest.(check int) (wname ^ "/" ^ l ^ " retries") a.Run.retries b.Run.retries)
+        per_seq per_par)
+    seq.Experiments.rows par.Experiments.rows
+
+let test_measure_parallel_identical () =
+  let cfg = Experiments.config_of_letter micro_options "W" in
+  let a =
+    Run.measure_best_retries ~jobs:1 cfg Workloads.Bitcoin.workload ~seeds:[ 1; 2; 3 ] ~trim:0
+      ~retry_choices:[ 2; 5 ]
+  in
+  let b =
+    Run.measure_best_retries ~jobs:3 cfg Workloads.Bitcoin.workload ~seeds:[ 1; 2; 3 ] ~trim:0
+      ~retry_choices:[ 2; 5 ]
+  in
+  Alcotest.(check bool) "measure_best_retries jobs-invariant" true (a = b)
+
 let test_suite_shape () =
   let s = Lazy.force suite in
   Alcotest.(check int) "two workloads" 2 (List.length s.Experiments.rows);
@@ -114,6 +147,11 @@ let () =
           Alcotest.test_case "measure deterministic" `Quick test_measure_deterministic;
           Alcotest.test_case "best retries" `Quick test_best_retries_picks_minimum;
           Alcotest.test_case "config_of_letter" `Quick test_config_of_letter;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "suite jobs:4 == jobs:1" `Slow test_suite_parallel_identical;
+          Alcotest.test_case "measure jobs:3 == jobs:1" `Slow test_measure_parallel_identical;
         ] );
       ( "experiments",
         [

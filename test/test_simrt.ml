@@ -1,10 +1,11 @@
 (* Unit and property tests for the simulator runtime: RNG, event queue,
-   statistical summaries, counters. *)
+   statistical summaries, counters, domain pool. *)
 
 module Rng = Simrt.Rng
 module Event_queue = Simrt.Event_queue
 module Summary = Simrt.Summary
 module Counter = Simrt.Counter
+module Pool = Simrt.Pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -133,6 +134,57 @@ let prop_queue_sorted =
       let popped = drain [] in
       popped = List.sort compare times)
 
+(* The simulator's determinism hinges on the full (time, seq) order: among
+   equal times, events pop in push order. A narrow time range forces many
+   ties; payloads carry the push index so the expected order is the stable
+   sort of indices by time. *)
+let prop_queue_time_seq_sorted =
+  QCheck.Test.make ~name:"pop order is (time, seq)-sorted, FIFO among ties" ~count:300
+    QCheck.(list (int_range 0 20))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.push q ~time:t (t, i)) times;
+      let rec drain acc =
+        match Event_queue.pop q with Some (_, p) -> drain (p :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      popped = expected)
+
+(* Interleaved pushes and pops must preserve the same invariant: what pops
+   next is always the earliest (time, seq) of what is currently queued. *)
+let prop_queue_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop stays (time, seq)-sorted" ~count:200
+    QCheck.(list (option (int_range 0 10)))
+    (fun script ->
+      let q = Event_queue.create () in
+      let module S = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let live = ref S.empty in
+      let idx = ref 0 in
+      List.for_all
+        (function
+          | Some t ->
+              Event_queue.push q ~time:t (t, !idx);
+              live := S.add (t, !idx) !live;
+              incr idx;
+              true
+          | None -> (
+              match Event_queue.pop q with
+              | None -> S.is_empty !live
+              | Some (_, p) ->
+                  let expected = S.min_elt !live in
+                  live := S.remove expected !live;
+                  p = expected))
+        script)
+
 (* ------------------------------------------------------------------ *)
 (* Summary *)
 
@@ -186,6 +238,46 @@ let prop_geomean_le_mean =
     (fun xs -> Summary.geomean xs <= Summary.mean xs +. 1e-9)
 
 (* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_map_order () =
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int)) "order preserved, all results present"
+    (List.map (fun x -> x * x) xs)
+    (Pool.parallel_map ~jobs:4 (fun x -> x * x) xs)
+
+let test_pool_matches_sequential () =
+  let xs = List.init 37 (fun i -> i * 3) in
+  let f x = (x * 7) mod 11 in
+  Alcotest.(check (list int)) "jobs:1 == jobs:5" (Pool.parallel_map ~jobs:1 f xs)
+    (Pool.parallel_map ~jobs:5 f xs)
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Pool.parallel_map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.parallel_map ~jobs:4 (fun x -> x * 9) [ 1 ])
+
+let test_pool_more_jobs_than_work () =
+  Alcotest.(check (list int)) "jobs > elements" [ 2; 4 ]
+    (Pool.parallel_map ~jobs:16 (fun x -> x * 2) [ 1; 2 ])
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "exception reaches the caller" (Failure "boom") (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:3
+           (fun x -> if x = 5 then failwith "boom" else x)
+           (List.init 10 (fun i -> i))))
+
+let test_pool_reusable () =
+  let p = Pool.create ~jobs:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check int) "size" 3 (Pool.size p);
+      Alcotest.(check (list int)) "first batch" [ 1; 2; 3 ] (Pool.map p (fun x -> x + 1) [ 0; 1; 2 ]);
+      Alcotest.(check (list string)) "second batch, other type" [ "a!"; "b!" ]
+        (Pool.map p (fun s -> s ^ "!") [ "a"; "b" ]))
+
+(* ------------------------------------------------------------------ *)
 (* Counter *)
 
 let test_counter_basic () =
@@ -236,7 +328,16 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "clear" `Quick test_queue_clear;
         ]
-        @ qsuite [ prop_queue_sorted ] );
+        @ qsuite [ prop_queue_sorted; prop_queue_time_seq_sorted; prop_queue_interleaved ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "parallel == sequential" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_singleton;
+          Alcotest.test_case "more jobs than work" `Quick test_pool_more_jobs_than_work;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "pool reuse across batches" `Quick test_pool_reusable;
+        ] );
       ( "summary",
         [
           Alcotest.test_case "mean" `Quick test_mean;
