@@ -11,8 +11,10 @@
    minus one) and is memoised on disk under _cache/ keyed by the sweep
    options, the workload list and the executable's digest, so later artefact
    invocations skip the sweep entirely. --no-cache bypasses the disk cache
-   (it neither reads nor writes); --smoke selects a tiny fixed suite used by
-   bench/perf_smoke.sh.
+   (it neither reads nor writes); --check validates every simulation with
+   the execution oracle (and implies --no-cache, since a cache hit would
+   skip validation); --smoke selects a tiny fixed suite used by
+   bench/perf_smoke.sh and bench/check_smoke.sh.
 
    Artefacts: table1 table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 headline
    ablation micro all *)
@@ -51,64 +53,43 @@ let jobs = ref (Simrt.Pool.default_jobs ())
 
 let use_disk_cache = ref true
 
+let check = ref false
+
 (* The suite is computed once per process and reused by every figure
-   (in-memory cache), and additionally memoised on disk so that subsequent
-   invocations of the executable skip the sweep. The disk entry is keyed by
-   everything that determines the result: the sweep options, the workload
-   list, and a digest of the executable itself (so any rebuild invalidates
-   every cached suite). *)
+   (in-memory cache), and additionally memoised on disk (Suite_cache) so that
+   subsequent invocations of the executable skip the sweep. A --check run
+   bypasses the disk cache in both directions: a hit would skip the oracle,
+   and a checked result is no more reusable than an unchecked one. *)
 let suite_cache : Experiments.suite option ref = ref None
-
-let cache_dir = "_cache"
-
-let build_id = lazy (Digest.to_hex (Digest.file Sys.executable_name))
-
-let suite_cache_path opts =
-  let key =
-    Digest.to_hex
-      (Digest.string
-         (Marshal.to_string
-            (opts, List.map (fun (w : Machine.Workload.t) -> w.name) Workloads.Registry.all,
-             Lazy.force build_id)
-            []))
-  in
-  Filename.concat cache_dir ("suite-" ^ key ^ ".bin")
-
-let load_cached_suite path : Experiments.suite option =
-  if not (Sys.file_exists path) then None
-  else
-    match In_channel.with_open_bin path Marshal.from_channel with
-    | s -> Some s
-    | exception _ ->
-        progress (Printf.sprintf "ignoring unreadable cache %s" path);
-        None
-
-let save_cached_suite path (s : Experiments.suite) =
-  (try Unix.mkdir cache_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let tmp = path ^ ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc s []);
-  Sys.rename tmp path;
-  progress (Printf.sprintf "cached suite at %s" path)
 
 let get_suite opts =
   match !suite_cache with
   | Some s -> s
   | None ->
-      let path = suite_cache_path opts in
+      let module Suite_cache = Clear_repro.Suite_cache in
+      let path =
+        Suite_cache.path opts
+          ~workload_names:(List.map (fun (w : Machine.Workload.t) -> w.name) Workloads.Registry.all)
+      in
+      let use_cache = !use_disk_cache && not !check in
       let s =
-        match if !use_disk_cache then load_cached_suite path else None with
+        match if use_cache then Suite_cache.load path else None with
         | Some s ->
             progress (Printf.sprintf "suite loaded from %s" path);
             s
         | None ->
             progress
               (Printf.sprintf
-                 "running full suite (4 configs x 19 benchmarks x retry sweep) on %d domain(s)..."
-                 !jobs);
+                 "running full suite (4 configs x 19 benchmarks x retry sweep) on %d domain(s)%s..."
+                 !jobs
+                 (if !check then " with the execution oracle" else ""));
             let t0 = Unix.gettimeofday () in
-            let s = Experiments.run_suite ~jobs:!jobs ~progress opts in
+            let s = Experiments.run_suite ~jobs:!jobs ~check:!check ~progress opts in
             progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
-            if !use_disk_cache then save_cached_suite path s;
+            if use_cache then begin
+              Suite_cache.save path s;
+              progress (Printf.sprintf "cached suite at %s" path)
+            end;
             s
       in
       suite_cache := Some s;
@@ -139,7 +120,10 @@ let ablation opts =
     (fun (w : Machine.Workload.t) ->
       List.iter
         (fun (label, cfg) ->
-          let m = Run.measure ~jobs:!jobs cfg w ~seeds:opts.Experiments.seeds ~trim:opts.Experiments.trim in
+          let m =
+            Run.measure ~jobs:!jobs ~check:!check cfg w ~seeds:opts.Experiments.seeds
+              ~trim:opts.Experiments.trim
+          in
           let mode m' = List.assoc m' m.Run.commit_mode_fractions in
           Table.add_row t
             [
@@ -171,7 +155,10 @@ let sle_comparison opts =
       let w = Workloads.Registry.find name in
       let cell letter frontend =
         let cfg = Config.with_frontend (Experiments.config_of_letter opts letter) frontend in
-        let m = Run.measure ~jobs:!jobs cfg w ~seeds:opts.Experiments.seeds ~trim:opts.Experiments.trim in
+        let m =
+          Run.measure ~jobs:!jobs ~check:!check cfg w ~seeds:opts.Experiments.seeds
+            ~trim:opts.Experiments.trim
+        in
         Printf.sprintf "%.0f" m.Run.cycles
       in
       Table.add_row t
@@ -331,6 +318,9 @@ let () =
         strip_flags acc rest
     | "--no-cache" :: rest ->
         use_disk_cache := false;
+        strip_flags acc rest
+    | "--check" :: rest ->
+        check := true;
         strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
     | [] -> List.rev acc

@@ -3,6 +3,7 @@
    `clear_sim list`                         enumerate benchmarks
    `clear_sim run -w bst -c W ...`          run one benchmark/config
    `clear_sim suite --jobs 8`               full 4-config sweep on 8 domains
+   `clear_sim check -w bst -c W`            validate runs with the execution oracle
    `clear_sim analyze [-w bst]`             static AR classification
    `clear_sim config -c B`                  print the machine configuration *)
 
@@ -48,6 +49,12 @@ let trace_arg =
   Arg.(value & opt int 0
        & info [ "trace" ] ~doc:"Print the last N lifecycle events of the run (0 = off).")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the run's lifecycle events to FILE in Chrome trace_event JSON \
+                 (open in chrome://tracing or Perfetto).")
+
 let frontend_arg =
   Arg.(value & opt frontend_conv Machine.Config.Htm
        & info [ "frontend" ] ~doc:"Speculation front-end: htm (transactions) or sle (lock elision).")
@@ -71,10 +78,16 @@ let config_of ?(frontend = Machine.Config.Htm) letter ~cores ~ops ~seed ~retries
   { base with Machine.Config.cores; ops_per_thread = ops; seed; max_retries = retries; frontend }
 
 let run_cmd =
-  let run workload letter cores ops seed retries frontend trace_n =
+  let run workload letter cores ops seed retries frontend trace_n trace_out =
     let w = find_workload workload in
     let cfg = config_of ~frontend letter ~cores ~ops ~seed ~retries in
-    let trace = if trace_n > 0 then Some (Machine.Trace.create ()) else None in
+    let trace =
+      if trace_out <> None then
+        (* A file export wants the whole run, not the default ring. *)
+        Some (Machine.Trace.create ~capacity:(1 lsl 20) ())
+      else if trace_n > 0 then Some (Machine.Trace.create ())
+      else None
+    in
     let t0 = Unix.gettimeofday () in
     let stats = Machine.Engine.run (Machine.Engine.create ?trace cfg w) in
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -119,16 +132,23 @@ let run_cmd =
     Printf.printf "stall cycles    %d  lock-phase cycles %d\n" (counter "stall_cycles")
       (counter "lock_phase_cycles");
     Printf.printf "host time       %.2f s\n" elapsed;
-    match trace with
-    | Some tr ->
-        Printf.printf "--- last %d events (of %d recorded) ---\n" trace_n (Machine.Trace.recorded tr);
+    (match trace with
+    | Some tr when trace_n > 0 ->
+        let shown = min trace_n (Machine.Trace.retained tr) in
+        Printf.printf "--- last %d events (of %d recorded) ---\n" shown (Machine.Trace.recorded tr);
         Machine.Trace.dump ~limit:trace_n tr Format.std_formatter
-    | None -> ()
+    | Some _ | None -> ());
+    match (trace, trace_out) with
+    | Some tr, Some file ->
+        Out_channel.with_open_bin file (fun oc ->
+            Out_channel.output_string oc (Machine.Trace.to_chrome_json tr));
+        Printf.printf "trace written   %s (%d events)\n" file (Machine.Trace.retained tr)
+    | _ -> ()
   in
   let term =
     Term.(
       const run $ workload_arg $ preset_arg $ cores_arg $ ops_arg $ seed_arg $ retries_arg
-      $ frontend_arg $ trace_arg)
+      $ frontend_arg $ trace_arg $ trace_out_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one configuration.") term
 
@@ -141,7 +161,12 @@ let jobs_arg =
 
 let suite_cmd =
   let module Experiments = Clear_repro.Experiments in
-  let suite jobs paper workload =
+  let module Suite_cache = Clear_repro.Suite_cache in
+  let suite jobs paper workload check no_cache cache_clear =
+    if cache_clear then begin
+      let n = Suite_cache.clear () in
+      Printf.eprintf "[suite] cleared %d cached suite(s) from %s\n%!" n Suite_cache.dir
+    end;
     let opts = if paper then Experiments.default_options else Experiments.quick_options in
     let workloads =
       match workload with
@@ -149,9 +174,27 @@ let suite_cmd =
       | Some name -> [ find_workload name ]
     in
     let progress label = Printf.eprintf "[suite] %s\n%!" label in
-    let t0 = Unix.gettimeofday () in
-    let s = Experiments.run_suite ~jobs ~workloads ~progress opts in
-    Printf.eprintf "[suite] done in %.1f s on %d domain(s)\n%!" (Unix.gettimeofday () -. t0) jobs;
+    (* A checked sweep must actually simulate — a cache hit would skip the
+       oracle entirely — so --check bypasses the cache in both directions. *)
+    let use_cache = (not no_cache) && not check in
+    let path =
+      Suite_cache.path opts
+        ~workload_names:(List.map (fun (w : Machine.Workload.t) -> w.name) workloads)
+    in
+    let s =
+      match if use_cache then Suite_cache.load path else None with
+      | Some s ->
+          Printf.eprintf "[suite] loaded from %s\n%!" path;
+          s
+      | None ->
+          let t0 = Unix.gettimeofday () in
+          let s = Experiments.run_suite ~jobs ~check ~workloads ~progress opts in
+          Printf.eprintf "[suite] done in %.1f s on %d domain(s)%s\n%!"
+            (Unix.gettimeofday () -. t0) jobs
+            (if check then " (all runs validated by the execution oracle)" else "");
+          if use_cache then Suite_cache.save path s;
+          s
+    in
     Report.Table.print (Experiments.fig8 s);
     print_newline ();
     Report.Table.print (Experiments.headline s)
@@ -163,10 +206,54 @@ let suite_cmd =
     Arg.(value & opt (some string) None
          & info [ "w"; "workload" ] ~doc:"Restrict the sweep to one benchmark.")
   in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate every simulation with the execution oracle (serializability, \
+                   sequential replay, lock safety). Implies bypassing the suite cache.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Neither read nor write the on-disk suite cache.")
+  in
+  let cache_clear_arg =
+    Arg.(value & flag & info [ "cache-clear" ] ~doc:"Delete all cached suites first.")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Run the 4-configuration sweep on a pool of domains; print Figure 8 and the headline.")
-    Term.(const suite $ jobs_arg $ paper_arg $ workload_filter)
+    Term.(const suite $ jobs_arg $ paper_arg $ workload_filter $ check_arg $ no_cache_arg
+          $ cache_clear_arg)
+
+let check_cmd =
+  let check workload all letter cores ops seed retries frontend =
+    let ws = if all then Workloads.Registry.all else [ find_workload workload ] in
+    let cfg = config_of ~frontend letter ~cores ~ops ~seed ~retries in
+    let failures = ref 0 in
+    List.iter
+      (fun (w : Machine.Workload.t) ->
+        let _stats, verdict =
+          Clear_repro.Run.run_sim_checked { Clear_repro.Run.cfg; workload = w; seed }
+        in
+        if Check.Verdict.ok verdict then
+          Printf.printf "%-12s %s  OK (%d commits)\n%!" w.name letter
+            verdict.Check.Verdict.commits
+        else begin
+          incr failures;
+          Printf.printf "%-12s %s  FAILED\n%s\n%!" w.name letter (Check.Verdict.to_string verdict)
+        end)
+      ws;
+    if !failures > 0 then exit 1
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Check every benchmark instead of one.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run benchmarks with the execution oracle: commit-order serializability over the \
+             captured witnesses, bit-exact sequential replay of all committed ARs, and \
+             lock-safety invariants. Exits non-zero on any violation.")
+    Term.(const check $ workload_arg $ all_arg $ preset_arg $ cores_arg $ ops_arg $ seed_arg
+          $ retries_arg $ frontend_arg)
 
 let list_cmd =
   let list () =
@@ -205,4 +292,4 @@ let config_cmd =
 
 let () =
   let info = Cmd.info "clear_sim" ~doc:"CLEAR bounded-retry HTM simulator." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; suite_cmd; list_cmd; analyze_cmd; config_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; suite_cmd; check_cmd; list_cmd; analyze_cmd; config_cmd ]))

@@ -1,0 +1,52 @@
+type entry =
+  | Commit of Witness.t
+  | Driver_writes of { time : int; core : int; stores : (Mem.Addr.t * int) list }
+
+type t = {
+  n_cores : int;
+  mutable initial : int array option;
+  mutable rev_entries : entry list;
+  mutable rev_lock_events : Lock_safety.event list;
+  mutable next_seq : int;
+}
+
+let create ~cores =
+  { n_cores = cores; initial = None; rev_entries = []; rev_lock_events = []; next_seq = 0 }
+
+let cores t = t.n_cores
+
+let set_initial t snap = t.initial <- Some snap
+
+let add_commit t ~time ~core ~ar ~init_regs ~mode ~retries ~reads ~writes ~stores =
+  let w =
+    {
+      Witness.seq = t.next_seq;
+      time;
+      core;
+      ar;
+      init_regs;
+      mode;
+      retries;
+      reads;
+      writes;
+      stores;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.rev_entries <- Commit w :: t.rev_entries
+
+let add_driver_writes t ~time ~core ~stores =
+  if stores <> [] then t.rev_entries <- Driver_writes { time; core; stores } :: t.rev_entries
+
+let add_lock_event t ev = t.rev_lock_events <- ev :: t.rev_lock_events
+
+let initial t = t.initial
+
+let entries t = List.rev t.rev_entries
+
+let witnesses t =
+  List.filter_map (function Commit w -> Some w | Driver_writes _ -> None) (entries t)
+
+let lock_events t = List.rev t.rev_lock_events
+
+let commit_count t = t.next_seq

@@ -1,0 +1,54 @@
+(** Accumulates everything the engine emits for one checked run.
+
+    The engine (when created with a collector) feeds this during simulation:
+    the initial memory snapshot, one witness per committed attempt, any
+    store writes performed by workload drivers {e outside} atomic regions
+    (thread-private scratch buffers; see DESIGN.md §9), and the complete
+    lock/release event stream. {!Verdict.evaluate} consumes the result. *)
+
+type entry =
+  | Commit of Witness.t
+  | Driver_writes of { time : int; core : int; stores : (Mem.Addr.t * int) list }
+      (** Non-transactional stores a driver issued while choosing its next
+          operation, in program order. Replayed positionally; not part of the
+          serializability check. *)
+
+type t
+
+val create : cores:int -> t
+
+val cores : t -> int
+
+val set_initial : t -> int array -> unit
+(** Memory snapshot taken after workload setup, before any simulated cycle. *)
+
+val add_commit :
+  t ->
+  time:int ->
+  core:int ->
+  ar:Isa.Program.ar ->
+  init_regs:(Isa.Instr.reg * int) list ->
+  mode:Witness.mode ->
+  retries:int ->
+  reads:(Mem.Addr.line * int) list ->
+  writes:(Mem.Addr.line * int) list ->
+  stores:(Mem.Addr.t * int) list ->
+  unit
+(** Record a committed attempt; the commit-order [seq] is assigned here. *)
+
+val add_driver_writes : t -> time:int -> core:int -> stores:(Mem.Addr.t * int) list -> unit
+(** Ignored when [stores] is empty. *)
+
+val add_lock_event : t -> Lock_safety.event -> unit
+
+val initial : t -> int array option
+
+val entries : t -> entry list
+(** Commits and driver writes, in emission order. *)
+
+val witnesses : t -> Witness.t list
+(** Just the commits, in commit order. *)
+
+val lock_events : t -> Lock_safety.event list
+
+val commit_count : t -> int

@@ -1,0 +1,94 @@
+type divergence =
+  | Store_mismatch of {
+      witness : Witness.t;
+      index : int;
+      expected : (Mem.Addr.t * int) option;
+      got : (Mem.Addr.t * int) option;
+    }
+  | Memory_mismatch of { addr : Mem.Addr.t; replayed : int; simulated : int; differing : int }
+  | Replay_error of { witness : Witness.t; message : string }
+
+let pp_entry fmt = function
+  | None -> Format.fprintf fmt "(none)"
+  | Some (a, v) -> Format.fprintf fmt "M[%d]=%d" a v
+
+let pp_divergence fmt = function
+  | Store_mismatch { witness; index; expected; got } ->
+      Format.fprintf fmt
+        "@[<v2>replay divergence in %a:@ store #%d: simulated %a, replayed %a@]" Witness.pp
+        witness index pp_entry expected pp_entry got
+  | Memory_mismatch { addr; replayed; simulated; differing } ->
+      Format.fprintf fmt
+        "final memory differs in %d word(s); first at M[%d]: replayed %d, simulated %d" differing
+        addr replayed simulated
+  | Replay_error { witness; message } ->
+      Format.fprintf fmt "replay of %a faulted: %s" Witness.pp witness message
+
+exception Diverged of divergence
+
+let replay_witness mem (w : Witness.t) =
+  (* Run the AR body against the replay memory, logging stores; then check
+     the log against the simulated one and apply it. Stores are applied as
+     they execute (the body may read back its own writes). *)
+  let rev_log = ref [] in
+  let load a =
+    if a < 0 || a >= Array.length mem then
+      raise (Isa.Interp.Error (Printf.sprintf "load from out-of-bounds address %d" a));
+    mem.(a)
+  in
+  let store a v =
+    if a < 0 || a >= Array.length mem then
+      raise (Isa.Interp.Error (Printf.sprintf "store to out-of-bounds address %d" a));
+    mem.(a) <- v;
+    rev_log := (a, v) :: !rev_log
+  in
+  (try Isa.Interp.run w.ar ~init_regs:w.init_regs ~load ~store
+   with Isa.Interp.Error msg -> raise (Diverged (Replay_error { witness = w; message = msg })));
+  let got = List.rev !rev_log in
+  let rec compare_logs i expected got =
+    match (expected, got) with
+    | [], [] -> ()
+    | e :: es, g :: gs when e = g -> compare_logs (i + 1) es gs
+    | e :: _, g :: _ ->
+        raise
+          (Diverged (Store_mismatch { witness = w; index = i; expected = Some e; got = Some g }))
+    | e :: _, [] ->
+        raise (Diverged (Store_mismatch { witness = w; index = i; expected = Some e; got = None }))
+    | [], g :: _ ->
+        raise (Diverged (Store_mismatch { witness = w; index = i; expected = None; got = Some g }))
+  in
+  compare_logs 0 w.stores got
+
+let run ~initial ~entries ~final =
+  let mem = Array.copy initial in
+  try
+    List.iter
+      (function
+        | Collector.Commit w -> replay_witness mem w
+        | Collector.Driver_writes { stores; _ } -> List.iter (fun (a, v) -> mem.(a) <- v) stores)
+      entries;
+    if Array.length mem <> Array.length final then
+      Error
+        (Memory_mismatch
+           { addr = 0; replayed = Array.length mem; simulated = Array.length final; differing = -1 })
+    else begin
+      let differing = ref 0 and first = ref (-1) in
+      Array.iteri
+        (fun i v ->
+          if v <> final.(i) then begin
+            incr differing;
+            if !first < 0 then first := i
+          end)
+        mem;
+      if !differing = 0 then Ok ()
+      else
+        Error
+          (Memory_mismatch
+             {
+               addr = !first;
+               replayed = mem.(!first);
+               simulated = final.(!first);
+               differing = !differing;
+             })
+    end
+  with Diverged d -> Error d

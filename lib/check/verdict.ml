@@ -1,0 +1,37 @@
+type t = {
+  commits : int;
+  serial : (unit, Serial.violation) result;
+  replay : (unit, Replay.divergence) result;
+  locks : (unit, Lock_safety.violation) result;
+}
+
+let ok t =
+  Result.is_ok t.serial && Result.is_ok t.replay && Result.is_ok t.locks
+
+let evaluate collector ~final =
+  let initial =
+    match Collector.initial collector with
+    | Some snap -> snap
+    | None -> invalid_arg "Verdict.evaluate: collector has no initial snapshot"
+  in
+  {
+    commits = Collector.commit_count collector;
+    serial = Serial.check (Collector.witnesses collector);
+    replay = Replay.run ~initial ~entries:(Collector.entries collector) ~final;
+    locks = Lock_safety.check ~cores:(Collector.cores collector) (Collector.lock_events collector);
+  }
+
+let pp_oracle fmt name pp_err = function
+  | Ok () -> Format.fprintf fmt "@ %-16s PASS" name
+  | Error e -> Format.fprintf fmt "@ %-16s FAIL@   @[%a@]" name pp_err e
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v2>check: %d committed attempt(s)%s"
+    t.commits
+    (if ok t then " — all oracles passed" else "");
+  pp_oracle fmt "serializability" Serial.pp_violation t.serial;
+  pp_oracle fmt "replay" Replay.pp_divergence t.replay;
+  pp_oracle fmt "lock-safety" Lock_safety.pp_violation t.locks;
+  Format.fprintf fmt "@]"
+
+let to_string t = Format.asprintf "%a" pp t

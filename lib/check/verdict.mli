@@ -1,0 +1,21 @@
+(** Combined result of the three oracles over one run. *)
+
+type t = {
+  commits : int;  (** witnesses checked *)
+  serial : (unit, Serial.violation) result;
+  replay : (unit, Replay.divergence) result;
+  locks : (unit, Lock_safety.violation) result;
+}
+
+val ok : t -> bool
+
+val evaluate : Collector.t -> final:int array -> t
+(** Run serializability, replay, and lock-safety over a completed run's
+    collector. Raises [Invalid_argument] if the collector never received an
+    initial snapshot (i.e. the engine was not created with it). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line report: one PASS/FAIL line per oracle, violation details on
+    failure. *)
+
+val to_string : t -> string

@@ -1,0 +1,31 @@
+type mode = Speculative | Scl | Nscl | Fallback
+
+let mode_buffered = function Speculative | Scl -> true | Nscl | Fallback -> false
+
+let mode_name = function
+  | Speculative -> "spec"
+  | Scl -> "s-cl"
+  | Nscl -> "ns-cl"
+  | Fallback -> "fallback"
+
+type t = {
+  seq : int;
+  time : int;
+  core : int;
+  ar : Isa.Program.ar;
+  init_regs : (Isa.Instr.reg * int) list;
+  mode : mode;
+  retries : int;
+  reads : (Mem.Addr.line * int) list;
+  writes : (Mem.Addr.line * int) list;
+  stores : (Mem.Addr.t * int) list;
+}
+
+let visibility w line =
+  let first_write = List.assoc line w.writes in
+  if mode_buffered w.mode then w.time else first_write
+
+let pp fmt w =
+  Format.fprintf fmt "#%d t=%d core=%d %s %s (%dR/%dW)" w.seq w.time w.core
+    (mode_name w.mode) w.ar.Isa.Program.name (List.length w.reads)
+    (List.length w.writes)

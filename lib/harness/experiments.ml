@@ -51,7 +51,8 @@ let config_of_letter opts letter =
    self-contained (own store/hierarchy/stats, explicit seeding), so the
    aggregation below walks the same nested cross-product in the same order
    regardless of [jobs] — results are bit-identical to the sequential run. *)
-let run_suite ?(jobs = 1) ?(workloads = Workloads.Registry.all) ?(progress = fun _ -> ()) opts =
+let run_suite ?(jobs = 1) ?(check = false) ?(workloads = Workloads.Registry.all)
+    ?(progress = fun _ -> ()) opts =
   let tasks =
     List.concat_map
       (fun (w : Machine.Workload.t) ->
@@ -63,7 +64,7 @@ let run_suite ?(jobs = 1) ?(workloads = Workloads.Registry.all) ?(progress = fun
           (presets opts))
       workloads
   in
-  let results = Array.of_list (Simrt.Pool.parallel_map ~jobs Run.run_sim tasks) in
+  let results = Array.of_list (Simrt.Pool.parallel_map ~jobs (Run.runner ~check) tasks) in
   let per_seed = List.length opts.seeds in
   let next = ref 0 in
   let take () =

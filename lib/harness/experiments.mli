@@ -30,6 +30,7 @@ type suite = {
 
 val run_suite :
   ?jobs:int ->
+  ?check:bool ->
   ?workloads:Machine.Workload.t list ->
   ?progress:(string -> unit) ->
   options ->
@@ -37,7 +38,10 @@ val run_suite :
 (** Run the whole sweep, flattened into one (config, workload, seed) task
     list executed on [jobs] worker domains (default 1 = sequential). Any job
     count yields bit-identical results: every simulation is self-contained
-    and explicitly seeded, and aggregation order does not depend on [jobs]. *)
+    and explicitly seeded, and aggregation order does not depend on [jobs].
+    With [~check:true] every simulation in the sweep is validated by the
+    execution oracle inside the worker; the first violation raises
+    {!Run.Check_failed}. *)
 
 val config_of_letter : options -> string -> Machine.Config.t
 

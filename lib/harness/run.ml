@@ -25,6 +25,31 @@ let sims cfg workload ~seeds = List.map (fun seed -> { cfg; workload; seed }) se
 let run_sim { cfg; workload; seed } =
   Machine.Engine.run_workload (Machine.Config.with_seed cfg seed) workload
 
+exception Check_failed of string
+
+let run_sim_checked { cfg; workload; seed } =
+  let cfg = Machine.Config.with_seed cfg seed in
+  let collector = Check.Collector.create ~cores:cfg.Machine.Config.cores in
+  let engine = Machine.Engine.create ~check:collector cfg workload in
+  let stats = Machine.Engine.run engine in
+  let final = Mem.Store.snapshot (Machine.Engine.store engine) in
+  (stats, Check.Verdict.evaluate collector ~final)
+
+(* Pool-friendly variant: same signature as [run_sim], turns a failed verdict
+   into an exception (which [Simrt.Pool.parallel_map] propagates to the
+   submitting domain). *)
+let run_sim_enforce sim =
+  let stats, verdict = run_sim_checked sim in
+  if Check.Verdict.ok verdict then stats
+  else
+    raise
+      (Check_failed
+         (Printf.sprintf "%s preset %s seed %d:\n%s" sim.workload.Machine.Workload.name
+            (Machine.Config.preset_letter sim.cfg) sim.seed
+            (Check.Verdict.to_string verdict)))
+
+let runner ~check = if check then run_sim_enforce else run_sim
+
 let tmean ~trim xs = Summary.trimmed_mean ~trim xs
 
 (* Aggregate the per-seed runs of one (config, workload) pair. The seed order
@@ -90,11 +115,12 @@ let best = function
   | [] -> invalid_arg "Run.best: empty candidate list"
   | hd :: tl -> List.fold_left (fun best m -> if m.cycles < best.cycles then m else best) hd tl
 
-let measure ?(jobs = 1) (cfg : Machine.Config.t) (workload : Machine.Workload.t) ~seeds ~trim =
-  let runs = Simrt.Pool.parallel_map ~jobs run_sim (sims cfg workload ~seeds) in
+let measure ?(jobs = 1) ?(check = false) (cfg : Machine.Config.t) (workload : Machine.Workload.t)
+    ~seeds ~trim =
+  let runs = Simrt.Pool.parallel_map ~jobs (runner ~check) (sims cfg workload ~seeds) in
   of_stats cfg workload ~trim runs
 
-let measure_best_retries ?(jobs = 1) cfg workload ~seeds ~trim ~retry_choices =
+let measure_best_retries ?(jobs = 1) ?(check = false) cfg workload ~seeds ~trim ~retry_choices =
   match retry_choices with
   | [] -> invalid_arg "measure_best_retries: empty retry_choices"
   | choices ->
@@ -103,7 +129,7 @@ let measure_best_retries ?(jobs = 1) cfg workload ~seeds ~trim ~retry_choices =
           (fun n -> sims (Machine.Config.with_retries cfg n) workload ~seeds)
           choices
       in
-      let results = Array.of_list (Simrt.Pool.parallel_map ~jobs run_sim tasks) in
+      let results = Array.of_list (Simrt.Pool.parallel_map ~jobs (runner ~check) tasks) in
       let per_seed = List.length seeds in
       let candidates =
         List.mapi

@@ -43,6 +43,22 @@ val run_sim : sim -> Machine.Stats.t
 (** Run one simulation to completion. Pure with respect to global state:
     safe to call from several domains at once. *)
 
+exception Check_failed of string
+(** Raised by checked runs when an oracle fails; the payload identifies the
+    (workload, preset, seed) triple and contains the full verdict report. *)
+
+val run_sim_checked : sim -> Machine.Stats.t * Check.Verdict.t
+(** Run one simulation with witness capture and evaluate all three oracles
+    (serializability, sequential replay, lock safety) on the result. The
+    stats are bit-identical to {!run_sim}'s. *)
+
+val run_sim_enforce : sim -> Machine.Stats.t
+(** Like {!run_sim} but raises {!Check_failed} unless the verdict is clean.
+    Drop-in replacement for {!run_sim} in pool task lists. *)
+
+val runner : check:bool -> sim -> Machine.Stats.t
+(** {!run_sim_enforce} when [check], {!run_sim} otherwise. *)
+
 val of_stats : Machine.Config.t -> Machine.Workload.t -> trim:int -> Machine.Stats.t list -> t
 (** Aggregate per-seed runs (in seed order) into a measurement. *)
 
@@ -53,12 +69,21 @@ val best : t list -> t
 (** {1 Measurements} *)
 
 val measure :
-  ?jobs:int -> Machine.Config.t -> Machine.Workload.t -> seeds:int list -> trim:int -> t
+  ?jobs:int ->
+  ?check:bool ->
+  Machine.Config.t ->
+  Machine.Workload.t ->
+  seeds:int list ->
+  trim:int ->
+  t
 (** One measurement at the configuration's own retry limit, running the
-    per-seed simulations on [jobs] domains (default 1 = inline). *)
+    per-seed simulations on [jobs] domains (default 1 = inline). With
+    [~check:true] every simulation is validated by the execution oracle;
+    a violation raises {!Check_failed} out of the pool. *)
 
 val measure_best_retries :
   ?jobs:int ->
+  ?check:bool ->
   Machine.Config.t ->
   Machine.Workload.t ->
   seeds:int list ->

@@ -1,0 +1,71 @@
+let dir = "_cache"
+
+let build_id_lazy = lazy (Digest.to_hex (Digest.file Sys.executable_name))
+
+let build_id () = Lazy.force build_id_lazy
+
+let path (opts : Experiments.options) ~workload_names =
+  let key =
+    Digest.to_hex (Digest.string (Marshal.to_string (opts, workload_names, build_id ()) []))
+  in
+  Filename.concat dir ("suite-" ^ key ^ ".bin")
+
+(* The first Marshal item is a plain string, so it deserialises safely even
+   when the rest of the file was written by a different build of the
+   executable (whose in-memory representation of [suite] may differ). *)
+let read_build_id path =
+  match In_channel.with_open_bin path (fun ic -> (Marshal.from_channel ic : string)) with
+  | id -> Some id
+  | exception _ -> None
+
+let load path : Experiments.suite option =
+  if not (Sys.file_exists path) then None
+  else
+    match
+      In_channel.with_open_bin path (fun ic ->
+          let id : string = Marshal.from_channel ic in
+          if id <> build_id () then None else Some (Marshal.from_channel ic : Experiments.suite))
+    with
+    | s -> s
+    | exception _ -> None
+
+let is_suite_entry name =
+  String.length name > String.length "suite-"
+  && String.sub name 0 6 = "suite-"
+  && Filename.check_suffix name ".bin"
+
+let prune_stale () =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if is_suite_entry name then begin
+            let p = Filename.concat dir name in
+            match read_build_id p with
+            | Some id when id = build_id () -> ()
+            | Some _ | None -> ( try Sys.remove p with Sys_error _ -> ())
+          end)
+        names
+
+let save path (s : Experiments.suite) =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Marshal.to_channel oc (build_id ()) [];
+      Marshal.to_channel oc s []);
+  Sys.rename tmp path;
+  prune_stale ()
+
+let clear () =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun n name ->
+          if is_suite_entry name then (
+            match Sys.remove (Filename.concat dir name) with
+            | () -> n + 1
+            | exception Sys_error _ -> n)
+          else n)
+        0 names

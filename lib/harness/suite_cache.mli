@@ -1,0 +1,29 @@
+(** On-disk memoisation of suite sweeps.
+
+    A cached suite lives at [_cache/suite-<digest>.bin] where the digest
+    covers the sweep options, the workload list and the executable's own
+    digest — any rebuild or parameter change misses. Entries are written as
+    two Marshal items: the build id (a plain string, safe to read back from
+    any build) followed by the suite. The embedded id lets {!save} prune
+    entries left behind by previous builds, so the directory never
+    accumulates unloadable files. *)
+
+val dir : string
+(** ["_cache"], relative to the working directory. *)
+
+val build_id : unit -> string
+(** Hex digest of the running executable; memoised. *)
+
+val path : Experiments.options -> workload_names:string list -> string
+(** Cache-file path for one sweep. *)
+
+val load : string -> Experiments.suite option
+(** [None] when the file is missing, unreadable, or written by a different
+    build. *)
+
+val save : string -> Experiments.suite -> unit
+(** Atomic write (temp file + rename), then prune every [suite-*.bin] in
+    {!dir} whose embedded build id differs from the current executable's. *)
+
+val clear : unit -> int
+(** Delete every [suite-*.bin] in {!dir}; returns how many were removed. *)

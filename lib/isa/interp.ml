@@ -1,0 +1,37 @@
+exception Error of string
+
+let default_fuel = 200_000
+
+let run ?(fuel = default_fuel) (ar : Program.ar) ~init_regs ~load ~store =
+  let regs = Array.make Instr.num_regs 0 in
+  List.iter (fun (r, v) -> regs.(r) <- v) init_regs;
+  let operand = function Instr.Reg r -> regs.(r) | Instr.Imm i -> i in
+  let body = ar.Program.body in
+  let pc = ref 0 in
+  let steps = ref 0 in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= Array.length body then
+      raise (Error (Printf.sprintf "Interp: PC %d out of range in %s" !pc ar.Program.name));
+    incr steps;
+    if !steps > fuel then
+      raise (Error (Printf.sprintf "Interp: %s exceeded %d instructions" ar.Program.name fuel));
+    match body.(!pc) with
+    | Instr.Halt -> running := false
+    | Instr.Nop -> incr pc
+    | Instr.Mov { dst; src } ->
+        regs.(dst) <- operand src;
+        incr pc
+    | Instr.Binop { op; dst; a; b } ->
+        regs.(dst) <- Instr.eval_binop op (operand a) (operand b);
+        incr pc
+    | Instr.Jmp target -> pc := target
+    | Instr.Br { cond; a; b; target } ->
+        pc := (if Instr.eval_cond cond (operand a) (operand b) then target else !pc + 1)
+    | Instr.Ld { dst; base; off; region = _ } ->
+        regs.(dst) <- load (operand base + off);
+        incr pc
+    | Instr.St { base; off; src; region = _ } ->
+        store (operand base + off) (operand src);
+        incr pc
+  done

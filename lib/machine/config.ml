@@ -27,6 +27,7 @@ type t = {
   think_cycles : int;
   ops_per_thread : int;
   seed : int;
+  fault_blind_line : int option;
 }
 
 let default =
@@ -55,6 +56,7 @@ let default =
     think_cycles = 150;
     ops_per_thread = 400;
     seed = 42;
+    fault_blind_line = None;
   }
 
 let baseline = default

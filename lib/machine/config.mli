@@ -45,6 +45,13 @@ type t = {
   think_cycles : int;  (** non-AR work between operations *)
   ops_per_thread : int;
   seed : int;
+  (* Fault injection (testing the execution oracle only) *)
+  fault_blind_line : int option;
+      (** When set, speculative conflict detection ignores this line entirely:
+          accesses to it are neither checked against nor registered in the
+          conflict map. This deliberately breaks atomicity — it exists so
+          tests can prove the {!Check} oracles catch real bugs. [None] (the
+          default) in all presets. *)
 }
 
 val default : t

@@ -47,11 +47,17 @@ type core = {
   mutable footprint0 : Mem.Addr.line list option; (* fig. 1 *)
   mutable attempt_lines : (Mem.Addr.line, unit) Hashtbl.t; (* footprint incl. CL modes *)
   mutable finished : bool;
+  (* Witness capture (populated only when the engine has a check collector;
+     deliberately separate from the Txn sets, which NS-CL/fallback bypass). *)
+  cap_reads : (Mem.Addr.line, int) Hashtbl.t; (* line -> first-read cycle *)
+  cap_writes : (Mem.Addr.line, int) Hashtbl.t; (* line -> first-write cycle *)
+  mutable cap_stores : (Mem.Addr.t * int) list; (* reversed program-order log *)
 }
 
 type t = {
   cfg : Config.t;
   trace : Trace.t option;
+  check : Check.Collector.t option;
   workload : Workload.t;
   store : Mem.Store.t;
   hierarchy : Mem.Hierarchy.t;
@@ -68,7 +74,7 @@ type t = {
 
 let max_ar_instrs = 200_000
 
-let create ?trace (cfg : Config.t) (workload : Workload.t) =
+let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
   let words = max cfg.memory_words workload.memory_words in
   let store = Mem.Store.create ~words in
   let stats = Stats.create () in
@@ -112,15 +118,24 @@ let create ?trace (cfg : Config.t) (workload : Workload.t) =
           footprint0 = None;
           attempt_lines = Hashtbl.create 64;
           finished = false;
+          cap_reads = Hashtbl.create 64;
+          cap_writes = Hashtbl.create 64;
+          cap_stores = [];
         })
   in
   let queue = Event_queue.create () in
   Array.iter
     (fun c -> Event_queue.push queue ~time:(Rng.int c.rng (cfg.think_cycles + 1)) c.id)
     cores;
+  (* Snapshot after setup and driver construction (closure-creation-time
+     writes are part of the initial image), before any simulated cycle. *)
+  (match check with
+  | None -> ()
+  | Some col -> Check.Collector.set_initial col (Mem.Store.snapshot store));
   {
     cfg;
     trace;
+    check;
     workload;
     store;
     hierarchy;
@@ -200,6 +215,39 @@ let mode_string = function
   | M_nscl -> "NS-CL"
   | M_fallback -> "fallback"
 
+(* ------------------------------------------------------------------ *)
+(* Witness capture (execution oracle)                                  *)
+
+let capturing t = t.check <> None
+
+let cap_read t c line =
+  if capturing t && not (Hashtbl.mem c.cap_reads line) then Hashtbl.add c.cap_reads line t.now
+
+let cap_write t c line =
+  if capturing t && not (Hashtbl.mem c.cap_writes line) then Hashtbl.add c.cap_writes line t.now
+
+let cap_store t c addr value = if capturing t then c.cap_stores <- (addr, value) :: c.cap_stores
+
+let cap_reset c =
+  Hashtbl.reset c.cap_reads;
+  Hashtbl.reset c.cap_writes;
+  c.cap_stores <- []
+
+let lock_ev t ev =
+  match t.check with None -> () | Some col -> Check.Collector.add_lock_event col ev
+
+let witness_mode_of = function
+  | M_spec -> Check.Witness.Speculative
+  | M_scl -> Check.Witness.Scl
+  | M_nscl -> Check.Witness.Nscl
+  | M_fallback -> Check.Witness.Fallback
+
+let sorted_bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* Fault injection: a line the conflict-detection hardware is blind to
+   (testing knob — see Config.fault_blind_line). *)
+let blind t line = match t.cfg.fault_blind_line with Some l -> l = line | None -> false
+
 
 (* ------------------------------------------------------------------ *)
 (* Commit/abort bookkeeping                                            *)
@@ -215,8 +263,14 @@ let fig1_close t c =
   | Some _ | None -> ()
 
 let cleanup_cl_locks t c =
-  if c.mode = M_scl || c.mode = M_nscl || c.lock_queue <> [] then
-    ignore (Mem.Hierarchy.unlock_all t.hierarchy ~core:c.id : int);
+  if c.mode = M_scl || c.mode = M_nscl || c.lock_queue <> [] then begin
+    List.iter
+      (fun line ->
+        trace_ev t c (Trace.Unlocked line);
+        lock_ev t (Check.Lock_safety.Unlock { time = t.now; core = c.id; line }))
+      (List.sort compare (Mem.Hierarchy.locked_lines t.hierarchy ~core:c.id));
+    ignore (Mem.Hierarchy.unlock_all t.hierarchy ~core:c.id : int)
+  end;
   c.lock_queue <- [];
   (* Drop whichever hold we have on the fallback lock: the shared hold of a
      CL-mode execution or the exclusive hold of a fallback execution. *)
@@ -250,8 +304,16 @@ let do_commit t c =
         if e.needs_locking && not e.written then Clear.Crt.remove c.crt e.line)
       (Clear.Alt.entries c.alt);
   let drained = if c.mode = M_spec || c.mode = M_scl then Txn.drain c.txn t.store else 0 in
+  (match t.check with
+  | None -> ()
+  | Some col ->
+      Check.Collector.add_commit col ~time:t.now ~core:c.id ~ar:op.Workload.ar
+        ~init_regs:op.Workload.init_regs ~mode:(witness_mode_of c.mode)
+        ~retries:c.retries_counted ~reads:(sorted_bindings c.cap_reads)
+        ~writes:(sorted_bindings c.cap_writes) ~stores:(List.rev c.cap_stores));
   Conflict_map.remove_core t.conflicts ~core:c.id ~lines:(Txn.footprint c.txn);
   cleanup_cl_locks t c;
+  lock_ev t (Check.Lock_safety.Attempt_end { time = t.now; core = c.id });
   release_power t c;
   Txn.reset c.txn;
   fig1_close t c;
@@ -270,6 +332,7 @@ let do_abort t c cause =
   done;
   Conflict_map.remove_core t.conflicts ~core:c.id ~lines:(Txn.footprint c.txn);
   cleanup_cl_locks t c;
+  lock_ev t (Check.Lock_safety.Attempt_end { time = t.now; core = c.id });
   release_power t c;
   (* A conflicting read feeds the CRT so the next S-CL locks it too. *)
   (match c.pending_abort with
@@ -388,7 +451,7 @@ let spec_load t c addr =
   let line = Mem.Addr.line_of addr in
   touch_line c line;
   blocked_by_remote_lock t c line;
-  if not c.failed_mode then begin
+  if (not c.failed_mode) && not (blind t line) then begin
     let writers = Conflict_map.conflicting_writers t.conflicts ~core:c.id line in
     List.iter
       (fun w ->
@@ -399,8 +462,9 @@ let spec_load t c addr =
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
   check_evictions c outcome;
   Txn.read_line c.txn line;
-  if not c.failed_mode then Conflict_map.add_reader t.conflicts ~core:c.id line;
+  if (not c.failed_mode) && not (blind t line) then Conflict_map.add_reader t.conflicts ~core:c.id line;
   record_in_alt t c line ~written:false;
+  cap_read t c line;
   let value = match Txn.forwarded c.txn addr with Some v -> v | None -> Mem.Store.read t.store addr in
   (value, outcome.Mem.Hierarchy.latency)
 
@@ -418,26 +482,32 @@ let spec_store t c addr value =
     end;
     Txn.buffer_store c.txn addr value;
     Txn.write_line c.txn line;
+    cap_write t c line;
+    cap_store t c addr value;
     (* SQ insertion only. *)
     1
   end
   else begin
     blocked_by_remote_lock t c line;
-    let victims =
-      Conflict_map.conflicting_writers t.conflicts ~core:c.id line
-      @ Conflict_map.conflicting_readers t.conflicts ~core:c.id line
-    in
-    List.iter
-      (fun w ->
-        let v = t.cores.(w) in
-        if victim_protected t c v then raise (Abort_now Abort.Nacked)
-        else doom t v Abort.Memory_conflict (Some line))
-      (List.sort_uniq compare victims);
+    if not (blind t line) then begin
+      let victims =
+        Conflict_map.conflicting_writers t.conflicts ~core:c.id line
+        @ Conflict_map.conflicting_readers t.conflicts ~core:c.id line
+      in
+      List.iter
+        (fun w ->
+          let v = t.cores.(w) in
+          if victim_protected t c v then raise (Abort_now Abort.Nacked)
+          else doom t v Abort.Memory_conflict (Some line))
+        (List.sort_uniq compare victims)
+    end;
     let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
     check_evictions c outcome;
     Txn.buffer_store c.txn addr value;
     Txn.write_line c.txn line;
-    Conflict_map.add_writer t.conflicts ~core:c.id line;
+    if not (blind t line) then Conflict_map.add_writer t.conflicts ~core:c.id line;
+    cap_write t c line;
+    cap_store t c addr value;
     outcome.Mem.Hierarchy.latency
   end
 
@@ -449,6 +519,7 @@ let nscl_load t c addr =
   touch_line c line;
   if Mem.Hierarchy.locked_by t.hierarchy line <> Some c.id then raise (Abort_now Abort.Scl_deviation);
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
+  cap_read t c line;
   (Mem.Store.read t.store addr, outcome.Mem.Hierarchy.latency)
 
 let nscl_store t c addr value =
@@ -457,6 +528,8 @@ let nscl_store t c addr value =
   if Mem.Hierarchy.locked_by t.hierarchy line <> Some c.id then raise (Abort_now Abort.Scl_deviation);
   let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
   Mem.Store.write t.store addr value;
+  cap_write t c line;
+  cap_store t c addr value;
   outcome.Mem.Hierarchy.latency
 
 (* S-CL: locked lines are safe; other accesses stay speculative with conflict
@@ -466,6 +539,7 @@ let scl_load t c addr =
   if Mem.Hierarchy.locked_by t.hierarchy line = Some c.id then begin
     touch_line c line;
     let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
+    cap_read t c line;
     let value = match Txn.forwarded c.txn addr with Some v -> v | None -> Mem.Store.read t.store addr in
     (value, outcome.Mem.Hierarchy.latency)
   end
@@ -478,6 +552,8 @@ let scl_store t c addr value =
     let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
     Txn.buffer_store c.txn addr value;
     Txn.write_line c.txn line;
+    cap_write t c line;
+    cap_store t c addr value;
     outcome.Mem.Hierarchy.latency
   end
   else spec_store t c addr value
@@ -486,6 +562,7 @@ let fallback_load t c addr =
   let line = Mem.Addr.line_of addr in
   touch_line c line;
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
+  cap_read t c line;
   (Mem.Store.read t.store addr, outcome.Mem.Hierarchy.latency)
 
 let fallback_store t c addr value =
@@ -501,6 +578,8 @@ let fallback_store t c addr value =
   List.iter (fun w -> doom t t.cores.(w) Abort.Other_fallback (Some line)) (List.sort_uniq compare victims);
   let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
   Mem.Store.write t.store addr value;
+  cap_write t c line;
+  cap_store t c addr value;
   outcome.Mem.Hierarchy.latency
 
 (* ------------------------------------------------------------------ *)
@@ -581,12 +660,14 @@ let begin_attempt_common c =
   c.sq_overflow <- false;
   c.failed_mode <- false;
   Hashtbl.reset c.attempt_lines;
+  cap_reset c;
   c.phase <- P_exec
 
 let start_speculative t c =
   let op = current_op c in
   c.mode <- M_spec;
   trace_ev t c (Trace.Begin_attempt { attempt = c.attempt; mode = "speculative" });
+  lock_ev t (Check.Lock_safety.Attempt_begin { time = t.now; core = c.id });
   Txn.start c.txn;
   try_acquire_power t c;
   c.discovery <-
@@ -603,6 +684,7 @@ let start_cl t c (mode : Clear.Decision.mode) =
   (* Read-lock the fallback lock, then queue the cacheline locks. *)
   if Fallback_lock.try_read_lock (op_lock t c) ~core:c.id then begin
     c.read_lock_held <- true;
+    lock_ev t (Check.Lock_safety.Attempt_begin { time = t.now; core = c.id });
     let lock_all = mode = Clear.Decision.Ns_cl in
     Clear.Alt.prepare_locking c.alt ~lock_all ~extra:(fun line -> t.cfg.use_crt && Clear.Crt.mem c.crt line);
     c.lock_queue <- Clear.Alt.to_lock c.alt;
@@ -623,6 +705,7 @@ let step_start t c =
       doom_all_speculators t ~except:c.id ~lock_id:(current_op c).Workload.lock_id;
       c.mode <- M_fallback;
       trace_ev t c (Trace.Begin_attempt { attempt = c.attempt; mode = "fallback" });
+      lock_ev t (Check.Lock_safety.Attempt_begin { time = t.now; core = c.id });
       c.planned <- None;
       begin_attempt_common c;
       t.cfg.xbegin_cost
@@ -664,6 +747,9 @@ let step_lock t c =
             (fun w -> doom t t.cores.(w) Abort.Memory_conflict (Some line))
             (List.sort_uniq compare victims);
           trace_ev t c (Trace.Locked line);
+          lock_ev t
+            (Check.Lock_safety.Lock
+               { time = t.now; core = c.id; line; key = entry.Clear.Alt.dir_set });
           Clear.Alt.mark_locked entry;
           c.lock_queue <- rest;
           (* Lexicographically ordered locking is pipelined: charge the
@@ -765,7 +851,22 @@ let step_next_op t c =
     0
   end
   else begin
-    let op = c.driver () in
+    let op =
+      match t.check with
+      | None -> c.driver ()
+      | Some col ->
+          (* Drivers may write the store outside any AR (thread-private
+             scratch, e.g. labyrinth's path buffers). Capture those writes so
+             the replay oracle can apply them at the right point. *)
+          let rev = ref [] in
+          let op =
+            Mem.Store.with_observer t.store
+              (fun a v -> rev := (a, v) :: !rev)
+              (fun () -> c.driver ())
+          in
+          Check.Collector.add_driver_writes col ~time:t.now ~core:c.id ~stores:(List.rev !rev);
+          op
+    in
     c.op <- Some op;
     c.phase <- P_start;
     c.attempt <- 0;

@@ -22,10 +22,16 @@
 
 type t
 
-val create : ?trace:Trace.t -> Config.t -> Workload.t -> t
+val create : ?trace:Trace.t -> ?check:Check.Collector.t -> Config.t -> Workload.t -> t
 (** Builds the machine, allocates the backing store and runs the workload's
     [setup]. When [trace] is given, per-core lifecycle events are recorded
-    into it. *)
+    into it. When [check] is given, the engine captures the material the
+    execution oracle needs: the initial memory snapshot, one
+    {!Check.Witness.t} per committed attempt (read/write footprint with
+    first-access cycles plus the drained store log — O(footprint) per
+    commit), non-transactional driver writes, and the complete lock/release
+    event stream. Capture has no effect on simulated behaviour: results are
+    bit-identical with and without it. *)
 
 val run : ?max_cycles:int -> t -> Stats.t
 (** Simulate until every thread finished its operations. Raises [Failure] if

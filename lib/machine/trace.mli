@@ -11,6 +11,7 @@ type kind =
   | Enter_failed_mode
   | Converted of string  (** decision-tree outcome for the retry *)
   | Locked of Mem.Addr.line
+  | Unlocked of Mem.Addr.line  (** released at the holder's commit/abort *)
   | Commit of { mode : string; retries : int }
   | Aborted of Abort.cause
   | Stalled of Mem.Addr.line
@@ -30,7 +31,16 @@ val events : t -> event list
 val recorded : t -> int
 (** Total events ever recorded (including overwritten ones). *)
 
+val retained : t -> int
+(** Events still in the ring (≤ capacity and ≤ {!recorded}). *)
+
 val pp_event : Format.formatter -> event -> unit
 
 val dump : ?limit:int -> t -> Format.formatter -> unit
-(** Print the most recent [limit] events (default: everything retained). *)
+(** Print the most recent [limit] events (default: everything retained).
+    [limit] is clamped to the retained count. *)
+
+val to_chrome_json : t -> string
+(** Export the retained events in Chrome's trace_event JSON format (load in
+    [chrome://tracing] or Perfetto). One Chrome process per simulated core;
+    each event is an instant at its simulated cycle. *)

@@ -137,6 +137,8 @@ let lock_line t ~core line =
 
 let unlock_line t ~core line = Directory.unlock t.directory ~core line
 
+let locked_lines t ~core = Directory.locked_lines t.directory ~core
+
 let unlock_all t ~core =
   let lines = Directory.locked_lines t.directory ~core in
   Directory.unlock_all t.directory ~core;

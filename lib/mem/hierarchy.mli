@@ -41,5 +41,8 @@ val unlock_all : t -> core:int -> int
 
 val locked_by : t -> Addr.line -> int option
 
+val locked_lines : t -> core:int -> Addr.line list
+(** Every line currently locked by [core] (release tracing and oracles). *)
+
 val flush_core : t -> core:int -> unit
 (** Drop all of [core]'s private-cache contents (used by tests). *)

@@ -1,20 +1,30 @@
-type t = int array
+type t = { data : int array; mutable observer : (int -> int -> unit) option }
 
-let create ~words = Array.make words 0
+let create ~words = { data = Array.make words 0; observer = None }
 
-let size t = Array.length t
+let size t = Array.length t.data
 
 let read t a =
-  if a < 0 || a >= Array.length t then
+  if a < 0 || a >= Array.length t.data then
     invalid_arg (Printf.sprintf "Store.read: address %d out of bounds" a);
-  t.(a)
+  t.data.(a)
 
 let write t a v =
-  if a < 0 || a >= Array.length t then
+  if a < 0 || a >= Array.length t.data then
     invalid_arg (Printf.sprintf "Store.write: address %d out of bounds" a);
-  t.(a) <- v
+  t.data.(a) <- v;
+  match t.observer with None -> () | Some f -> f a v
 
 let fill t a ~len v =
   for i = a to a + len - 1 do
     write t i v
   done
+
+let snapshot t = Array.copy t.data
+
+let of_snapshot arr = { data = Array.copy arr; observer = None }
+
+let with_observer t f body =
+  let saved = t.observer in
+  t.observer <- Some f;
+  Fun.protect ~finally:(fun () -> t.observer <- saved) body

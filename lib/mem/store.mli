@@ -17,3 +17,15 @@ val write : t -> Addr.t -> int -> unit
 
 val fill : t -> Addr.t -> len:int -> int -> unit
 (** [fill t a ~len v] writes [v] to [len] consecutive words from [a]. *)
+
+val snapshot : t -> int array
+(** Copy of the full memory image (execution-oracle capture). *)
+
+val of_snapshot : int array -> t
+(** Fresh store initialised from a snapshot (the array is copied). *)
+
+val with_observer : t -> (Addr.t -> int -> unit) -> (unit -> 'a) -> 'a
+(** [with_observer t f body] runs [body] with [f] invoked after every
+    {!write} (including {!fill}), then restores the previous observer. Used
+    by the execution oracle to witness non-transactional stores performed by
+    workload drivers. *)

@@ -1,0 +1,396 @@
+(* The execution oracle: unit tests of the three checkers on hand-built
+   histories, plus end-to-end runs — including one with an injected
+   conflict-detection bug the oracle must catch. *)
+
+module Engine = Machine.Engine
+module Config = Machine.Config
+module Stats = Machine.Stats
+module Workload = Machine.Workload
+module Trace = Machine.Trace
+module Store = Mem.Store
+module I = Isa.Instr
+module P = Isa.Program
+module Run = Clear_repro.Run
+
+let halt_ar = P.make_ar ~id:0 ~name:"noop" [| I.Halt |]
+
+let witness ?(seq = 0) ?(time = 0) ?(core = 0) ?(mode = Check.Witness.Speculative) ?(reads = [])
+    ?(writes = []) ?(stores = []) ?(ar = halt_ar) () =
+  { Check.Witness.seq; time; core; ar; init_regs = []; mode; retries = 0; reads; writes; stores }
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Serializability checker *)
+
+let check_serial ws = Check.Serial.check ws
+
+let test_serial_accepts_serial_history () =
+  (* A commits a buffered write at t=10; B reads the line afterwards. *)
+  let a = witness ~seq:0 ~time:10 ~core:0 ~writes:[ (1, 5) ] ~stores:[ (8, 1) ] () in
+  let b = witness ~seq:1 ~time:30 ~core:1 ~reads:[ (1, 20) ] () in
+  Alcotest.(check bool) "serial history accepted" true (Result.is_ok (check_serial [ a; b ]))
+
+let test_serial_rejects_read_stale () =
+  (* B read the line before A's write became visible, yet commits after A:
+     the classic lost-update shape. *)
+  let a = witness ~seq:0 ~time:10 ~core:0 ~writes:[ (1, 5) ] () in
+  let b = witness ~seq:1 ~time:30 ~core:1 ~reads:[ (1, 5) ] ~writes:[ (1, 6) ] () in
+  match check_serial [ a; b ] with
+  | Ok () -> Alcotest.fail "stale read not detected"
+  | Error v ->
+      Alcotest.(check bool) "kind is Rw" true (v.Check.Serial.kind = Check.Serial.Rw);
+      Alcotest.(check int) "on line 1" 1 v.Check.Serial.line
+
+let test_serial_rejects_write_order_inversion () =
+  (* Two direct-mode writers whose visibility order contradicts commit
+     order: the earlier commit's value survives in memory. *)
+  let a = witness ~seq:0 ~time:30 ~core:0 ~mode:Check.Witness.Nscl ~writes:[ (2, 20) ] () in
+  let b = witness ~seq:1 ~time:40 ~core:1 ~mode:Check.Witness.Fallback ~writes:[ (2, 10) ] () in
+  match check_serial [ a; b ] with
+  | Ok () -> Alcotest.fail "write-order inversion not detected"
+  | Error v -> Alcotest.(check bool) "kind is Ww" true (v.Check.Serial.kind = Check.Serial.Ww)
+
+let test_serial_rejects_future_read () =
+  (* A committed first but read the line after B's direct write became
+     visible: A observed data from a transaction serialized after it. *)
+  let a = witness ~seq:0 ~time:60 ~core:0 ~reads:[ (3, 50) ] () in
+  let b = witness ~seq:1 ~time:70 ~core:1 ~mode:Check.Witness.Nscl ~writes:[ (3, 30) ] () in
+  match check_serial [ a; b ] with
+  | Ok () -> Alcotest.fail "future read not detected"
+  | Error v -> Alcotest.(check bool) "kind is Wr" true (v.Check.Serial.kind = Check.Serial.Wr)
+
+let test_serial_buffered_concurrent_ok () =
+  (* Buffered writers that both read before either commit are fine as long
+     as neither read the other's line. *)
+  let a = witness ~seq:0 ~time:10 ~core:0 ~reads:[ (1, 2) ] ~writes:[ (1, 3) ] () in
+  let b = witness ~seq:1 ~time:11 ~core:1 ~reads:[ (2, 2) ] ~writes:[ (2, 3) ] () in
+  Alcotest.(check bool) "disjoint lines accepted" true (Result.is_ok (check_serial [ a; b ]))
+
+(* ------------------------------------------------------------------ *)
+(* Lock safety *)
+
+let ls = Check.Lock_safety.check ~cores:4
+
+let test_locks_clean_sequence () =
+  let events =
+    [
+      Check.Lock_safety.Attempt_begin { time = 0; core = 0 };
+      Check.Lock_safety.Lock { time = 1; core = 0; line = 10; key = 1 };
+      Check.Lock_safety.Lock { time = 2; core = 0; line = 20; key = 5 };
+      Check.Lock_safety.Unlock { time = 9; core = 0; line = 10 };
+      Check.Lock_safety.Unlock { time = 9; core = 0; line = 20 };
+      Check.Lock_safety.Attempt_end { time = 9; core = 0 };
+    ]
+  in
+  Alcotest.(check bool) "clean sequence passes" true (Result.is_ok (ls events))
+
+let test_locks_mutual_exclusion () =
+  let events =
+    [
+      Check.Lock_safety.Attempt_begin { time = 0; core = 0 };
+      Check.Lock_safety.Attempt_begin { time = 0; core = 1 };
+      Check.Lock_safety.Lock { time = 1; core = 0; line = 10; key = 1 };
+      Check.Lock_safety.Lock { time = 2; core = 1; line = 10; key = 1 };
+    ]
+  in
+  Alcotest.(check bool) "double lock rejected" true (Result.is_error (ls events))
+
+let test_locks_lexicographic_order () =
+  let events =
+    [
+      Check.Lock_safety.Attempt_begin { time = 0; core = 0 };
+      Check.Lock_safety.Lock { time = 1; core = 0; line = 10; key = 5 };
+      Check.Lock_safety.Lock { time = 2; core = 0; line = 20; key = 1 };
+    ]
+  in
+  Alcotest.(check bool) "key order violation rejected" true (Result.is_error (ls events));
+  (* ...but the order resets between attempts. *)
+  let events =
+    [
+      Check.Lock_safety.Attempt_begin { time = 0; core = 0 };
+      Check.Lock_safety.Lock { time = 1; core = 0; line = 10; key = 5 };
+      Check.Lock_safety.Unlock { time = 2; core = 0; line = 10 };
+      Check.Lock_safety.Attempt_end { time = 2; core = 0 };
+      Check.Lock_safety.Attempt_begin { time = 3; core = 0 };
+      Check.Lock_safety.Lock { time = 4; core = 0; line = 20; key = 1 };
+      Check.Lock_safety.Unlock { time = 5; core = 0; line = 20 };
+      Check.Lock_safety.Attempt_end { time = 5; core = 0 };
+    ]
+  in
+  Alcotest.(check bool) "key order resets per attempt" true (Result.is_ok (ls events))
+
+let test_locks_leak_detected () =
+  let leak_past_attempt =
+    [
+      Check.Lock_safety.Attempt_begin { time = 0; core = 2 };
+      Check.Lock_safety.Lock { time = 1; core = 2; line = 10; key = 1 };
+      Check.Lock_safety.Attempt_end { time = 5; core = 2 };
+    ]
+  in
+  Alcotest.(check bool) "leak past attempt end rejected" true (Result.is_error (ls leak_past_attempt));
+  let leak_past_run =
+    [
+      Check.Lock_safety.Attempt_begin { time = 0; core = 2 };
+      Check.Lock_safety.Lock { time = 1; core = 2; line = 10; key = 1 };
+    ]
+  in
+  Alcotest.(check bool) "leak past end of run rejected" true (Result.is_error (ls leak_past_run));
+  let stray_unlock = [ Check.Lock_safety.Unlock { time = 1; core = 0; line = 7 } ] in
+  Alcotest.(check bool) "stray unlock rejected" true (Result.is_error (ls stray_unlock))
+
+(* ------------------------------------------------------------------ *)
+(* Replay oracle *)
+
+let store_ar =
+  (* M[0] <- 5 *)
+  P.make_ar ~id:1 ~name:"store5"
+    [|
+      I.Mov { dst = 1; src = I.Imm 5 };
+      I.St { base = I.Imm 0; off = 0; src = I.Reg 1; region = "t" };
+      I.Halt;
+    |]
+
+let test_replay_accepts_faithful_history () =
+  let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 5) ] () in
+  let initial = Array.make 16 0 in
+  let final = Array.make 16 0 in
+  final.(0) <- 5;
+  Alcotest.(check bool) "faithful history accepted" true
+    (Result.is_ok (Check.Replay.run ~initial ~entries:[ Check.Collector.Commit w ] ~final))
+
+let test_replay_detects_store_mismatch () =
+  (* The witness claims the simulation drained M[0] <- 6; the body stores 5. *)
+  let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 6) ] () in
+  let initial = Array.make 16 0 in
+  let final = Array.make 16 0 in
+  final.(0) <- 6;
+  match Check.Replay.run ~initial ~entries:[ Check.Collector.Commit w ] ~final with
+  | Error (Check.Replay.Store_mismatch _) -> ()
+  | Error d ->
+      Alcotest.failf "wrong divergence: %s" (Format.asprintf "%a" Check.Replay.pp_divergence d)
+  | Ok () -> Alcotest.fail "store mismatch not detected"
+
+let test_replay_detects_memory_mismatch () =
+  (* Store logs agree but the final image contains a word nobody wrote. *)
+  let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 5) ] () in
+  let initial = Array.make 16 0 in
+  let final = Array.make 16 0 in
+  final.(0) <- 5;
+  final.(9) <- 123;
+  match Check.Replay.run ~initial ~entries:[ Check.Collector.Commit w ] ~final with
+  | Error (Check.Replay.Memory_mismatch { addr; differing; _ }) ->
+      Alcotest.(check int) "first differing word" 9 addr;
+      Alcotest.(check int) "one differing word" 1 differing
+  | Error _ -> Alcotest.fail "wrong divergence kind"
+  | Ok () -> Alcotest.fail "memory mismatch not detected"
+
+let test_replay_applies_driver_writes () =
+  let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 5) ] () in
+  let initial = Array.make 16 0 in
+  let final = Array.make 16 0 in
+  final.(0) <- 5;
+  final.(12) <- 7;
+  let entries =
+    [
+      Check.Collector.Driver_writes { time = 0; core = 1; stores = [ (12, 7) ] };
+      Check.Collector.Commit w;
+    ]
+  in
+  Alcotest.(check bool) "driver writes reach the replay image" true
+    (Result.is_ok (Check.Replay.run ~initial ~entries ~final))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: checked real runs *)
+
+let small cfg = { cfg with Config.cores = 4; ops_per_thread = 40; memory_words = 1 lsl 16 }
+
+let test_checked_run_clean () =
+  List.iter
+    (fun (label, cfg) ->
+      let sim = { Run.cfg = small cfg; workload = Workloads.Mwobject.workload; seed = 7 } in
+      let _stats, verdict = Run.run_sim_checked sim in
+      if not (Check.Verdict.ok verdict) then
+        Alcotest.failf "%s: %s" label (Check.Verdict.to_string verdict))
+    [
+      ("B", Config.baseline);
+      ("P", Config.power_tm);
+      ("C", Config.clear_rw);
+      ("W", Config.clear_power);
+    ]
+
+let test_check_does_not_perturb () =
+  (* Witness capture must not change the simulation: stats are identical
+     with and without the collector. *)
+  let sim = { Run.cfg = small Config.clear_power; workload = Workloads.Bst.workload; seed = 11 } in
+  let plain = Run.run_sim sim in
+  let checked, verdict = Run.run_sim_checked sim in
+  Alcotest.(check bool) "verdict clean" true (Check.Verdict.ok verdict);
+  Alcotest.(check int) "same cycles" (Stats.total_cycles plain) (Stats.total_cycles checked);
+  Alcotest.(check int) "same commits" (Stats.commits plain) (Stats.commits checked);
+  Alcotest.(check int) "same aborts" (Stats.aborts plain) (Stats.aborts checked)
+
+(* A shared-counter workload: every AR increments M[0] once. Serializable
+   executions end with M[0] = total commits. *)
+let counter_workload =
+  let ar =
+    P.make_ar ~id:0 ~name:"incr"
+      [|
+        I.Ld { dst = 1; base = I.Imm 0; off = 0; region = "ctr" };
+        I.Binop { op = I.Add; dst = 1; a = I.Reg 1; b = I.Imm 1 };
+        I.St { base = I.Imm 0; off = 0; src = I.Reg 1; region = "ctr" };
+        I.Halt;
+      |]
+  in
+  {
+    Workload.name = "counter";
+    description = "shared counter increment";
+    ars = [ ar ];
+    memory_words = 256;
+    setup = (fun _ _ -> ());
+    make_driver = (fun ~tid:_ ~threads:_ _ _ () -> Workload.op ar []);
+  }
+
+let test_injected_bug_caught () =
+  (* Disable conflict detection on the counter's line: concurrent increments
+     race undetected and updates are lost. The oracle must notice what the
+     engine no longer can. A correct HTM never loses an update, so first
+     confirm the unfaulted run is clean and conserves the count. *)
+  let cfg = { (small Config.baseline) with Config.ops_per_thread = 80 } in
+  let clean_sim = { Run.cfg; workload = counter_workload; seed = 5 } in
+  let _stats, verdict = Run.run_sim_checked clean_sim in
+  Alcotest.(check bool) "control run clean" true (Check.Verdict.ok verdict);
+  (let engine = Engine.create (Config.with_seed cfg 5) counter_workload in
+   let stats = Engine.run engine in
+   Alcotest.(check int) "control conserves count" (Stats.commits stats)
+     (Store.read (Engine.store engine) 0));
+  let faulty = { cfg with Config.fault_blind_line = Some 0 } in
+  let _stats, verdict = Run.run_sim_checked { clean_sim with Run.cfg = faulty } in
+  Alcotest.(check bool) "injected bug caught" true (not (Check.Verdict.ok verdict));
+  (* Lost updates manifest as a stale read (serializability) and as a replay
+     divergence; the lock oracle has nothing to complain about. *)
+  Alcotest.(check bool) "serializability flagged" true
+    (Result.is_error verdict.Check.Verdict.serial);
+  Alcotest.(check bool) "replay flagged" true (Result.is_error verdict.Check.Verdict.replay)
+
+let test_run_sim_enforce_raises () =
+  let cfg =
+    { (small Config.baseline) with Config.ops_per_thread = 80; fault_blind_line = Some 0 }
+  in
+  let sim = { Run.cfg; workload = counter_workload; seed = 5 } in
+  match Run.run_sim_enforce sim with
+  | _ -> Alcotest.fail "expected Check_failed"
+  | exception Run.Check_failed msg ->
+      Alcotest.(check bool) "message names the workload" true (contains_sub msg "counter")
+
+let test_suite_checked_smoke () =
+  let opts =
+    {
+      Clear_repro.Experiments.cores = 4;
+      ops_per_thread = 30;
+      seeds = [ 3 ];
+      trim = 0;
+      retry_choices = [ 2 ];
+    }
+  in
+  let suite =
+    Clear_repro.Experiments.run_suite ~jobs:2 ~check:true
+      ~workloads:[ Workloads.Stack.workload; Workloads.Mwobject.workload ]
+      opts
+  in
+  Alcotest.(check int) "two rows" 2 (List.length suite.Clear_repro.Experiments.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Trace: Unlocked events, dump clamp, Chrome export *)
+
+let traced_run cfg workload =
+  let trace = Trace.create ~capacity:(1 lsl 18) () in
+  let engine = Engine.create ~trace (small cfg) workload in
+  let _ = Engine.run engine in
+  trace
+
+let test_trace_unlock_balance () =
+  (* Every line lock the trace records as taken must also be recorded as
+     released (the ring is large enough to retain the whole run). *)
+  let trace = traced_run Config.clear_power Workloads.Mwobject.workload in
+  let locked, unlocked =
+    List.fold_left
+      (fun (l, u) (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Locked _ -> (l + 1, u)
+        | Trace.Unlocked _ -> (l, u + 1)
+        | _ -> (l, u))
+      (0, 0) (Trace.events trace)
+  in
+  Alcotest.(check int) "locks balance unlocks" locked unlocked
+
+let test_trace_dump_clamps_limit () =
+  let trace = traced_run Config.baseline Workloads.Stack.workload in
+  let n = Trace.retained trace in
+  Alcotest.(check bool) "retained positive" true (n > 0);
+  Alcotest.(check bool) "retained bounded" true (n <= Trace.recorded trace);
+  (* A limit far beyond the retained count must print exactly the retained
+     events, not crash or over-report. *)
+  let lines s = List.length (String.split_on_char '\n' (String.trim s)) in
+  let with_huge_limit =
+    let b = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer b in
+    Trace.dump ~limit:max_int trace ppf;
+    Format.pp_print_flush ppf ();
+    Buffer.contents b
+  in
+  Alcotest.(check int) "dump prints retained events" n (lines with_huge_limit)
+
+let test_trace_chrome_json () =
+  let trace = traced_run Config.clear_power Workloads.Bitcoin.workload in
+  let json = Trace.to_chrome_json trace in
+  let contains needle = contains_sub json needle in
+  Alcotest.(check bool) "has traceEvents" true (contains "\"traceEvents\"");
+  Alcotest.(check bool) "has process metadata" true (contains "process_name");
+  Alcotest.(check bool) "has instant events" true (contains "\"ph\":\"i\"");
+  Alcotest.(check bool) "commits exported" true (contains "commit")
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "serializability",
+        [
+          Alcotest.test_case "accepts serial history" `Quick test_serial_accepts_serial_history;
+          Alcotest.test_case "rejects stale read (RW)" `Quick test_serial_rejects_read_stale;
+          Alcotest.test_case "rejects write inversion (WW)" `Quick
+            test_serial_rejects_write_order_inversion;
+          Alcotest.test_case "rejects future read (WR)" `Quick test_serial_rejects_future_read;
+          Alcotest.test_case "accepts disjoint concurrency" `Quick test_serial_buffered_concurrent_ok;
+        ] );
+      ( "lock safety",
+        [
+          Alcotest.test_case "clean sequence" `Quick test_locks_clean_sequence;
+          Alcotest.test_case "mutual exclusion" `Quick test_locks_mutual_exclusion;
+          Alcotest.test_case "lexicographic order" `Quick test_locks_lexicographic_order;
+          Alcotest.test_case "leaks detected" `Quick test_locks_leak_detected;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "accepts faithful history" `Quick test_replay_accepts_faithful_history;
+          Alcotest.test_case "detects store mismatch" `Quick test_replay_detects_store_mismatch;
+          Alcotest.test_case "detects memory mismatch" `Quick test_replay_detects_memory_mismatch;
+          Alcotest.test_case "applies driver writes" `Quick test_replay_applies_driver_writes;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "clean runs pass all oracles" `Quick test_checked_run_clean;
+          Alcotest.test_case "capture does not perturb" `Quick test_check_does_not_perturb;
+          Alcotest.test_case "injected bug caught" `Quick test_injected_bug_caught;
+          Alcotest.test_case "enforce raises" `Quick test_run_sim_enforce_raises;
+          Alcotest.test_case "checked suite smoke" `Quick test_suite_checked_smoke;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "unlock balance" `Quick test_trace_unlock_balance;
+          Alcotest.test_case "dump clamps limit" `Quick test_trace_dump_clamps_limit;
+          Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
+        ] );
+    ]

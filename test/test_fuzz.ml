@@ -156,6 +156,22 @@ let test_fuzz_window_values_stay_valid () =
     done
   done
 
+let test_fuzz_oracles_pass () =
+  (* The strongest property in the suite: every fuzzed execution, under
+     every configuration and frontend, passes all three oracles —
+     serializability of the commit order, bit-exact sequential replay, and
+     lock safety. *)
+  for seed = 50 to 57 do
+    let w = gen_workload ~seed ~ar_count:3 in
+    List.iter
+      (fun (label, cfg) ->
+        let sim = { Clear_repro.Run.cfg = shape cfg; workload = w; seed } in
+        let _stats, verdict = Clear_repro.Run.run_sim_checked sim in
+        if not (Check.Verdict.ok verdict) then
+          Alcotest.failf "seed %d %s: %s" seed label (Check.Verdict.to_string verdict))
+      cfgs
+  done
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -165,5 +181,6 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic;
           Alcotest.test_case "no stray writes" `Quick test_fuzz_no_stray_writes;
           Alcotest.test_case "pointer closure" `Quick test_fuzz_window_values_stay_valid;
+          Alcotest.test_case "all oracles pass (all configs)" `Quick test_fuzz_oracles_pass;
         ] );
     ]
