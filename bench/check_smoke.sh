@@ -22,6 +22,12 @@ BIN=_build/default/bench/main.exe
 
 HOST_CORES=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n 1)
 
+# Same clamp as perf_smoke.sh: domains beyond the host's cores only add
+# scheduling overhead to both sides of the comparison.
+PAR_JOBS=$HOST_CORES
+[ "$PAR_JOBS" -gt 4 ] && PAR_JOBS=4
+[ "$PAR_JOBS" -lt 1 ] && PAR_JOBS=1
+
 now_ms() {
   t=$(date +%s%N 2>/dev/null)
   case "$t" in
@@ -33,7 +39,7 @@ now_ms() {
 run_timed() { # $1 = extra flag or empty, $2 = output file; prints elapsed ms
   start=$(now_ms)
   # shellcheck disable=SC2086
-  "$BIN" --smoke --no-cache --jobs 4 $1 fig8 >"$2" 2>/dev/null
+  "$BIN" --smoke --no-cache --jobs "$PAR_JOBS" $1 fig8 >"$2" 2>/dev/null
   end=$(now_ms)
   echo "$((end - start))"
 }
@@ -59,6 +65,7 @@ cat >BENCH_check.json <<EOF
 {
   "suite": "smoke-fig8 (4 configs x 19 benchmarks, 4 cores, 40 ops, 2 seeds, retries [2,5])",
   "host_cores": $HOST_CORES,
+  "parallel_jobs": $PAR_JOBS,
   "plain_wall_ms": $MS_PLAIN,
   "checked_wall_ms": $MS_CHECK,
   "check_overhead_factor": $OVERHEAD,

@@ -16,6 +16,10 @@
    skip validation); --smoke selects a tiny fixed suite used by
    bench/perf_smoke.sh and bench/check_smoke.sh.
 
+   --perf runs a small fixed sweep sequentially and dumps the engine's
+   hot-path performance counters (Simrt.Perfctr), both as a table and as
+   machine-readable "perfctr NAME VALUE" lines for bench/perf_smoke.sh.
+
    Artefacts: table1 table2 fig1 fig8 fig9 fig10 fig11 fig12 fig13 headline
    ablation micro all *)
 
@@ -54,6 +58,8 @@ let jobs = ref (Simrt.Pool.default_jobs ())
 let use_disk_cache = ref true
 
 let check = ref false
+
+let perf = ref false
 
 (* The suite is computed once per process and reused by every figure
    (in-memory cache), and additionally memoised on disk (Suite_cache) so that
@@ -263,6 +269,32 @@ let run_bechamel () =
     tests;
   emit "micro" t
 
+(* Hot-path counter dump: a small fixed sweep, run sequentially in-process so
+   the counters aggregate in one place (domains would each own a private
+   engine and the numbers would need plumbing back). *)
+let run_perf opts =
+  let total = Simrt.Perfctr.create () in
+  List.iter
+    (fun (w : Machine.Workload.t) ->
+      List.iter
+        (fun letter ->
+          let cfg = Experiments.config_of_letter opts letter in
+          List.iter
+            (fun seed ->
+              let eng = Machine.Engine.create (Config.with_seed cfg seed) w in
+              ignore (Machine.Engine.run eng : Stats.t);
+              Simrt.Perfctr.merge_into ~dst:total (Machine.Engine.perfctr eng))
+            opts.Experiments.seeds)
+        [ "B"; "P"; "C"; "W" ])
+    (ablation_workloads ());
+  let t =
+    Table.create ~title:"Engine hot-path counters (3 workloads x 4 configs x seeds, sequential)"
+      ~columns:[ "Counter"; "Total" ]
+  in
+  List.iter (fun (n, v) -> Table.add_row t [ n; string_of_int v ]) (Simrt.Perfctr.to_list total);
+  emit "perf" t;
+  List.iter (fun (n, v) -> Printf.printf "perfctr %s %d\n" n v) (Simrt.Perfctr.to_list total)
+
 let artefacts opts =
   [
     ("table1", fun () -> emit "table1" (Experiments.table1 ()));
@@ -311,10 +343,22 @@ let () =
         strip_flags acc rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
-        | Some n when n >= 1 -> jobs := n
+        | Some n when n >= 1 ->
+            (* More domains than the runtime recommends only adds scheduling
+               overhead (the PR-1 "speedup" of 0.54x on a 1-core host): clamp
+               and say so. *)
+            let cap = Domain.recommended_domain_count () in
+            if n > cap then begin
+              Printf.eprintf "[bench] --jobs %d exceeds this host's recommended domain count %d; clamping to %d\n%!" n cap cap;
+              jobs := cap
+            end
+            else jobs := n
         | Some _ | None ->
             Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
             exit 2);
+        strip_flags acc rest
+    | "--perf" :: rest ->
+        perf := true;
         strip_flags acc rest
     | "--no-cache" :: rest ->
         use_disk_cache := false;
@@ -327,7 +371,11 @@ let () =
   in
   let args = strip_flags [] args in
   let wanted = List.filter (fun a -> a <> "--paper" && a <> "--smoke") args in
-  let wanted = if wanted = [] || List.mem "all" wanted then List.map fst (artefacts opts) else wanted in
+  let wanted =
+    if wanted = [] && !perf then [] (* --perf alone: just the counter dump *)
+    else if wanted = [] || List.mem "all" wanted then List.map fst (artefacts opts)
+    else wanted
+  in
   let available = artefacts opts in
   List.iter
     (fun name ->
@@ -339,4 +387,5 @@ let () =
           Printf.eprintf "unknown artefact %s; available: %s\n" name
             (String.concat " " (List.map fst available));
           exit 2)
-    wanted
+    wanted;
+  if !perf then run_perf opts

@@ -1,15 +1,18 @@
 #!/usr/bin/env sh
-# Perf smoke test for the parallel suite runner.
+# Perf smoke test for the suite runner.
 #
 # Runs the tiny fixed suite (bench/main.exe --smoke fig8) once sequentially
-# and once on 4 domains, verifies the two outputs are byte-identical (the
-# determinism guarantee), and records both wall-clock times in
-# BENCH_suite.json so the perf trajectory is tracked across PRs.
+# and once on min(4, host cores) domains, verifies the two outputs are
+# byte-identical (the determinism guarantee), and records both wall-clock
+# times plus the engine's hot-path counters (--perf) in BENCH_suite.json so
+# the perf trajectory is tracked across PRs.
+#
+# On a host with fewer than 2 cores there is nothing parallel to measure:
+# the "parallel" run is the sequential run again and the JSON says so
+# (speedup null, parallel_meaningful false) instead of reporting a bogus
+# slowdown from domain overhead.
 #
 # The disk cache is bypassed (--no-cache) so both runs actually compute.
-# On hosts with >= 4 real cores the jobs-4 run should be >= 2x faster; on
-# smaller hosts the JSON still records the honest numbers together with the
-# host core count.
 #
 # Usage: sh bench/perf_smoke.sh   (from the repository root or bench/)
 
@@ -21,6 +24,11 @@ dune build bench/main.exe 2>&1
 BIN=_build/default/bench/main.exe
 
 HOST_CORES=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n 1)
+
+# Clamp the parallel run to what the host can actually parallelise.
+PAR_JOBS=$HOST_CORES
+[ "$PAR_JOBS" -gt 4 ] && PAR_JOBS=4
+[ "$PAR_JOBS" -lt 1 ] && PAR_JOBS=1
 
 now_ms() {
   # POSIX date has no sub-second precision; prefer %N when GNU date is there.
@@ -38,33 +46,51 @@ run_timed() { # $1 = jobs, $2 = output file; prints elapsed ms
   echo "$((end - start))"
 }
 
-OUT1=$(mktemp) OUT4=$(mktemp)
-trap 'rm -f "$OUT1" "$OUT4"' EXIT
+OUT1=$(mktemp) OUTN=$(mktemp)
+trap 'rm -f "$OUT1" "$OUTN"' EXIT
 
 echo "[perf_smoke] sequential run (--jobs 1)..."
 MS1=$(run_timed 1 "$OUT1")
-echo "[perf_smoke] parallel run (--jobs 4)..."
-MS4=$(run_timed 4 "$OUT4")
+echo "[perf_smoke] parallel run (--jobs $PAR_JOBS)..."
+MSN=$(run_timed "$PAR_JOBS" "$OUTN")
 
-if ! cmp -s "$OUT1" "$OUT4"; then
-  echo "[perf_smoke] FAIL: --jobs 1 and --jobs 4 outputs differ" >&2
-  diff "$OUT1" "$OUT4" >&2 || true
+if ! cmp -s "$OUT1" "$OUTN"; then
+  echo "[perf_smoke] FAIL: --jobs 1 and --jobs $PAR_JOBS outputs differ" >&2
+  diff "$OUT1" "$OUTN" >&2 || true
   exit 1
 fi
 echo "[perf_smoke] outputs identical across job counts"
 
-SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $MS1 / ($MS4 == 0 ? 1 : $MS4) }")
+echo "[perf_smoke] hot-path counters (--perf)..."
+PERF_JSON=$("$BIN" --smoke --perf 2>/dev/null | awk '
+  /^perfctr / { printf "%s    \"%s\": %s", sep, $2, $3; sep = ",\n" }
+  END { print "" }')
+
+if [ "$HOST_CORES" -ge 2 ]; then
+  SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $MS1 / ($MSN == 0 ? 1 : $MSN) }")
+  MEANINGFUL=true
+  SUMMARY="speedup: ${SPEEDUP}x"
+else
+  # One core: both runs are sequential, a "speedup" would be noise.
+  SPEEDUP=null
+  MEANINGFUL=false
+  SUMMARY="speedup: n/a (single-core host)"
+fi
 
 cat >BENCH_suite.json <<EOF
 {
   "suite": "smoke-fig8 (4 configs x 19 benchmarks, 4 cores, 40 ops, 2 seeds, retries [2,5])",
   "host_cores": $HOST_CORES,
+  "parallel_jobs": $PAR_JOBS,
+  "parallel_meaningful": $MEANINGFUL,
   "jobs1_wall_ms": $MS1,
-  "jobs4_wall_ms": $MS4,
-  "speedup_jobs4_over_jobs1": $SPEEDUP,
-  "outputs_identical": true
+  "jobsN_wall_ms": $MSN,
+  "speedup_jobsN_over_jobs1": $SPEEDUP,
+  "outputs_identical": true,
+  "perfctr": {
+$PERF_JSON  }
 }
 EOF
 
-echo "[perf_smoke] jobs=1: ${MS1} ms   jobs=4: ${MS4} ms   speedup: ${SPEEDUP}x (host has ${HOST_CORES} core(s))"
+echo "[perf_smoke] jobs=1: ${MS1} ms   jobs=$PAR_JOBS: ${MSN} ms   $SUMMARY (host has ${HOST_CORES} core(s))"
 echo "[perf_smoke] wrote BENCH_suite.json"

@@ -155,9 +155,23 @@ let run_cmd =
 let jobs_arg =
   let doc =
     "Worker domains for the sweep (default: host cores minus one). Results are \
-     bit-identical at any job count."
+     bit-identical at any job count. Values above the host's recommended \
+     domain count are clamped (extra domains only add scheduling overhead)."
   in
-  Arg.(value & opt int (Simrt.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~doc)
+  let arg = Arg.(value & opt int (Simrt.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~doc) in
+  let clamp n =
+    if n < 1 then begin
+      Printf.eprintf "[suite] --jobs expects a positive integer, got %d\n%!" n;
+      exit 2
+    end;
+    let cap = Domain.recommended_domain_count () in
+    if n > cap then begin
+      Printf.eprintf "[suite] --jobs %d exceeds this host's recommended domain count %d; clamping to %d\n%!" n cap cap;
+      cap
+    end
+    else n
+  in
+  Cmdliner.Term.(const clamp $ arg)
 
 let suite_cmd =
   let module Experiments = Clear_repro.Experiments in

@@ -4,7 +4,7 @@ type entry =
 
 type t = {
   n_cores : int;
-  mutable initial : int array option;
+  mutable initial : Mem.Store.image option;
   mutable rev_entries : entry list;
   mutable rev_lock_events : Lock_safety.event list;
   mutable next_seq : int;

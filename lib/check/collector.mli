@@ -19,8 +19,9 @@ val create : cores:int -> t
 
 val cores : t -> int
 
-val set_initial : t -> int array -> unit
-(** Memory snapshot taken after workload setup, before any simulated cycle. *)
+val set_initial : t -> Mem.Store.image -> unit
+(** Memory snapshot taken after workload setup, before any simulated cycle.
+    An {!Mem.Store.image} is a cheap chunk-sharing freeze, not a copy. *)
 
 val add_commit :
   t ->
@@ -41,7 +42,7 @@ val add_driver_writes : t -> time:int -> core:int -> stores:(Mem.Addr.t * int) l
 
 val add_lock_event : t -> Lock_safety.event -> unit
 
-val initial : t -> int array option
+val initial : t -> Mem.Store.image option
 
 val entries : t -> entry list
 (** Commits and driver writes, in emission order. *)

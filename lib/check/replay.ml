@@ -30,16 +30,17 @@ let replay_witness mem (w : Witness.t) =
   (* Run the AR body against the replay memory, logging stores; then check
      the log against the simulated one and apply it. Stores are applied as
      they execute (the body may read back its own writes). *)
+  let words = Mem.Store.size mem in
   let rev_log = ref [] in
   let load a =
-    if a < 0 || a >= Array.length mem then
+    if a < 0 || a >= words then
       raise (Isa.Interp.Error (Printf.sprintf "load from out-of-bounds address %d" a));
-    mem.(a)
+    Mem.Store.read mem a
   in
   let store a v =
-    if a < 0 || a >= Array.length mem then
+    if a < 0 || a >= words then
       raise (Isa.Interp.Error (Printf.sprintf "store to out-of-bounds address %d" a));
-    mem.(a) <- v;
+    Mem.Store.write mem a v;
     rev_log := (a, v) :: !rev_log
   in
   (try Isa.Interp.run w.ar ~init_regs:w.init_regs ~load ~store
@@ -60,35 +61,31 @@ let replay_witness mem (w : Witness.t) =
   compare_logs 0 w.stores got
 
 let run ~initial ~entries ~final =
-  let mem = Array.copy initial in
+  (* The replay store shares every untouched chunk with [initial] — and,
+     transitively, with the simulation's [final] image — so the closing
+     comparison only scans chunks one of the two sides actually wrote. *)
+  let mem = Mem.Store.of_snapshot initial in
   try
     List.iter
       (function
         | Collector.Commit w -> replay_witness mem w
-        | Collector.Driver_writes { stores; _ } -> List.iter (fun (a, v) -> mem.(a) <- v) stores)
+        | Collector.Driver_writes { stores; _ } ->
+            List.iter (fun (a, v) -> Mem.Store.write mem a v) stores)
       entries;
-    if Array.length mem <> Array.length final then
+    let replayed = Mem.Store.snapshot mem in
+    if Mem.Store.image_words replayed <> Mem.Store.image_words final then
       Error
         (Memory_mismatch
-           { addr = 0; replayed = Array.length mem; simulated = Array.length final; differing = -1 })
+           {
+             addr = 0;
+             replayed = Mem.Store.image_words replayed;
+             simulated = Mem.Store.image_words final;
+             differing = -1;
+           })
     else begin
-      let differing = ref 0 and first = ref (-1) in
-      Array.iteri
-        (fun i v ->
-          if v <> final.(i) then begin
-            incr differing;
-            if !first < 0 then first := i
-          end)
-        mem;
-      if !differing = 0 then Ok ()
-      else
-        Error
-          (Memory_mismatch
-             {
-               addr = !first;
-               replayed = mem.(!first);
-               simulated = final.(!first);
-               differing = !differing;
-             })
+      match Mem.Store.image_diff replayed final with
+      | None -> Ok ()
+      | Some (addr, replayed, simulated, differing) ->
+          Error (Memory_mismatch { addr; replayed; simulated; differing })
     end
   with Diverged d -> Error d

@@ -36,9 +36,11 @@ type divergence =
 val pp_divergence : Format.formatter -> divergence -> unit
 
 val run :
-  initial:int array ->
+  initial:Mem.Store.image ->
   entries:Collector.entry list ->
-  final:int array ->
+  final:Mem.Store.image ->
   (unit, divergence) result
-(** [run ~initial ~entries ~final] replays [entries] on a copy of [initial]
-    and compares against [final]. *)
+(** [run ~initial ~entries ~final] replays [entries] on a store built from
+    [initial] and compares against [final]. Both images share untouched
+    chunks with the simulation's store, so the whole-image comparison costs
+    O(words actually written) rather than O(memory size). *)

@@ -9,7 +9,7 @@ type t = {
 
 val ok : t -> bool
 
-val evaluate : Collector.t -> final:int array -> t
+val evaluate : Collector.t -> final:Mem.Store.image -> t
 (** Run serializability, replay, and lock-safety over a completed run's
     collector. Raises [Invalid_argument] if the collector never received an
     initial snapshot (i.e. the engine was not created with it). *)

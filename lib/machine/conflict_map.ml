@@ -1,49 +1,78 @@
-type entry = { mutable readers : int; mutable writers : int }
+(* Cache lines are dense small ints (word address asr 3, bounded by the
+   store size), so the per-line reader/writer core bitmasks live in two flat
+   line-indexed arrays instead of a hashtable: adds, removals and conflict
+   queries are single array accesses with no hashing and no allocation. The
+   arrays are sized from the workload's declared memory and grown on demand
+   should a line land beyond the hint. *)
 
-type t = { cores : int; map : (Mem.Addr.line, entry) Hashtbl.t }
+type t = { cores : int; mutable readers : int array; mutable writers : int array }
 
-let create ~cores = { cores; map = Hashtbl.create 1024 }
+let create ?(lines = 1024) ~cores () =
+  let n = max 16 lines in
+  { cores; readers = Array.make n 0; writers = Array.make n 0 }
 
-let entry t line =
-  match Hashtbl.find_opt t.map line with
-  | Some e -> e
-  | None ->
-      let e = { readers = 0; writers = 0 } in
-      Hashtbl.add t.map line e;
-      e
+let grow t line =
+  let cap = ref (2 * Array.length t.readers) in
+  while line >= !cap do
+    cap := 2 * !cap
+  done;
+  let nr = Array.make !cap 0 and nw = Array.make !cap 0 in
+  Array.blit t.readers 0 nr 0 (Array.length t.readers);
+  Array.blit t.writers 0 nw 0 (Array.length t.writers);
+  t.readers <- nr;
+  t.writers <- nw
 
 let bit core = 1 lsl core
 
 let add_reader t ~core line =
-  let e = entry t line in
-  e.readers <- e.readers lor bit core
+  if line >= Array.length t.readers then grow t line;
+  t.readers.(line) <- t.readers.(line) lor bit core
 
 let add_writer t ~core line =
-  let e = entry t line in
-  e.writers <- e.writers lor bit core
+  if line >= Array.length t.readers then grow t line;
+  t.writers.(line) <- t.writers.(line) lor bit core
 
-let remove_core t ~core ~lines =
-  let mask = lnot (bit core) in
-  List.iter
-    (fun line ->
-      match Hashtbl.find_opt t.map line with
-      | None -> ()
-      | Some e ->
-          e.readers <- e.readers land mask;
-          e.writers <- e.writers land mask;
-          if e.readers = 0 && e.writers = 0 then Hashtbl.remove t.map line)
-    lines
+let remove_line t ~core line =
+  if line < Array.length t.readers then begin
+    let mask = lnot (bit core) in
+    t.readers.(line) <- t.readers.(line) land mask;
+    t.writers.(line) <- t.writers.(line) land mask
+  end
 
-let readers t line = match Hashtbl.find_opt t.map line with Some e -> e.readers | None -> 0
+let remove_core t ~core ~lines = List.iter (fun line -> remove_line t ~core line) lines
 
-let writers t line = match Hashtbl.find_opt t.map line with Some e -> e.writers | None -> 0
+let readers t line = if line < Array.length t.readers then t.readers.(line) else 0
+
+let writers t line = if line < Array.length t.writers then t.writers.(line) else 0
+
+(* Masks of *other* cores holding the line — the engine's eager conflict
+   checks iterate these bitmasks directly rather than materialising victim
+   lists. *)
+let readers_excl t ~core line = readers t line land lnot (bit core)
+
+let writers_excl t ~core line = writers t line land lnot (bit core)
+
+(* Visit the set bits of a core mask in ascending core order (the same order
+   the old list-building interface produced). *)
+let iter_cores mask f =
+  let m = ref mask and c = ref 0 in
+  while !m <> 0 do
+    if !m land 1 <> 0 then f !c;
+    m := !m lsr 1;
+    incr c
+  done
 
 let cores_of t mask ~excluding =
-  let rec loop c acc = if c < 0 then acc else loop (c - 1) (if mask land (1 lsl c) <> 0 && c <> excluding then c :: acc else acc) in
+  let rec loop c acc =
+    if c < 0 then acc
+    else loop (c - 1) (if mask land (1 lsl c) <> 0 && c <> excluding then c :: acc else acc)
+  in
   loop (t.cores - 1) []
 
 let conflicting_readers t ~core line = cores_of t (readers t line) ~excluding:core
 
 let conflicting_writers t ~core line = cores_of t (writers t line) ~excluding:core
 
-let clear t = Hashtbl.reset t.map
+let clear t =
+  Array.fill t.readers 0 (Array.length t.readers) 0;
+  Array.fill t.writers 0 (Array.length t.writers) 0

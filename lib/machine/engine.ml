@@ -44,8 +44,8 @@ type core = {
   mutable lock_queue : Clear.Alt.entry list; (* entries left to lock *)
   mutable read_lock_held : bool;
   mutable explicit_fb_counted : bool; (* one explicit-fallback abort per spin session *)
-  mutable footprint0 : Mem.Addr.line list option; (* fig. 1 *)
-  mutable attempt_lines : (Mem.Addr.line, unit) Hashtbl.t; (* footprint incl. CL modes *)
+  mutable footprint0 : Mem.Addr.line array option; (* fig. 1; sorted *)
+  attempt_lines : Simrt.Lineset.t; (* footprint incl. CL modes *)
   mutable finished : bool;
   (* Witness capture (populated only when the engine has a check collector;
      deliberately separate from the Txn sets, which NS-CL/fallback bypass). *)
@@ -66,6 +66,7 @@ type t = {
       (* HTM: a single global fallback lock (id 0). SLE: one reader-writer
          lock per critical-section mutex. *)
   stats : Stats.t;
+  perf : Simrt.Perfctr.t;
   cores : core array;
   queue : int Event_queue.t; (* payload: core id *)
   mutable power_owner : int; (* PowerTM token, -1 when free *)
@@ -116,7 +117,7 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
           read_lock_held = false;
           explicit_fb_counted = false;
           footprint0 = None;
-          attempt_lines = Hashtbl.create 64;
+          attempt_lines = Simrt.Lineset.create ~hint:64 ();
           finished = false;
           cap_reads = Hashtbl.create 64;
           cap_writes = Hashtbl.create 64;
@@ -139,9 +140,13 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
     workload;
     store;
     hierarchy;
-    conflicts = Conflict_map.create ~cores:cfg.cores;
+    (* Hint from the workload's own memory, not [cfg.memory_words] (whose
+       default exists to bound the address space, not to be touched): lines
+       are dense from zero and the map grows if an address lands beyond. *)
+    conflicts = Conflict_map.create ~lines:((workload.memory_words asr 3) + 1) ~cores:cfg.cores ();
     locks = Hashtbl.create 16;
     stats;
+    perf = Simrt.Perfctr.create ();
     cores;
     queue;
     power_owner = -1;
@@ -149,6 +154,8 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
   }
 
 let store t = t.store
+
+let perfctr t = t.perf
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -198,9 +205,13 @@ let doom t (v : core) cause line =
   if is_speculating t.cores.(v.id) && v.pending_abort = None then v.pending_abort <- Some (cause, line)
 
 (* Record a touched line in the per-attempt footprint. *)
-let touch_line c line = Hashtbl.replace c.attempt_lines line ()
+let touch_line t c line =
+  t.perf.footprint_inserts <- t.perf.footprint_inserts + 1;
+  Simrt.Lineset.add c.attempt_lines line
 
-let attempt_footprint c = Hashtbl.fold (fun l () acc -> l :: acc) c.attempt_lines [] |> List.sort compare
+(* Sorted view of the attempt footprint; the returned array stays valid
+   across later attempts (Lineset rebuilds into fresh arrays). *)
+let attempt_footprint c = Simrt.Lineset.sorted_view c.attempt_lines
 
 let trace_ev t c kind =
   match t.trace with
@@ -257,7 +268,7 @@ let fig1_close t c =
   match c.footprint0 with
   | Some fp0 when c.attempt = 1 ->
       let fp1 = attempt_footprint c in
-      let stable = fp0 = fp1 && List.length fp0 <= t.cfg.alt_capacity in
+      let stable = fp0 = fp1 && Array.length fp0 <= t.cfg.alt_capacity in
       Stats.note_first_abort t.stats ~footprint_stable:stable;
       c.footprint0 <- None
   | Some _ | None -> ()
@@ -268,7 +279,7 @@ let cleanup_cl_locks t c =
       (fun line ->
         trace_ev t c (Trace.Unlocked line);
         lock_ev t (Check.Lock_safety.Unlock { time = t.now; core = c.id; line }))
-      (List.sort compare (Mem.Hierarchy.locked_lines t.hierarchy ~core:c.id));
+      (Mem.Hierarchy.locked_lines t.hierarchy ~core:c.id);
     ignore (Mem.Hierarchy.unlock_all t.hierarchy ~core:c.id : int)
   end;
   c.lock_queue <- [];
@@ -311,7 +322,7 @@ let do_commit t c =
         ~init_regs:op.Workload.init_regs ~mode:(witness_mode_of c.mode)
         ~retries:c.retries_counted ~reads:(sorted_bindings c.cap_reads)
         ~writes:(sorted_bindings c.cap_writes) ~stores:(List.rev c.cap_stores));
-  Conflict_map.remove_core t.conflicts ~core:c.id ~lines:(Txn.footprint c.txn);
+  Txn.iter_lines c.txn (fun line -> Conflict_map.remove_line t.conflicts ~core:c.id line);
   cleanup_cl_locks t c;
   lock_ev t (Check.Lock_safety.Attempt_end { time = t.now; core = c.id });
   release_power t c;
@@ -321,16 +332,18 @@ let do_commit t c =
   trace_ev t c (Trace.Commit { mode = mode_string c.mode; retries = c.retries_counted });
   Stats.note_commit ~ar:op.Workload.ar.Isa.Program.name t.stats ~mode:(stats_mode_of c)
     ~retries:c.retries_counted;
+  t.perf.commits <- t.perf.commits + 1;
   finish_op c;
   t.cfg.xend_cost + (drained / 4)
 
 let do_abort t c cause =
   trace_ev t c (Trace.Aborted cause);
   Stats.note_abort t.stats cause;
+  t.perf.aborts <- t.perf.aborts + 1;
   for _ = 1 to c.attempt_instrs do
     Stats.note_wasted_instr t.stats
   done;
-  Conflict_map.remove_core t.conflicts ~core:c.id ~lines:(Txn.footprint c.txn);
+  Txn.iter_lines c.txn (fun line -> Conflict_map.remove_line t.conflicts ~core:c.id line);
   cleanup_cl_locks t c;
   lock_ev t (Check.Lock_safety.Attempt_end { time = t.now; core = c.id });
   release_power t c;
@@ -342,7 +355,7 @@ let do_abort t c cause =
   c.pending_abort <- None;
   if c.attempt = 0 then begin
     let fp = attempt_footprint c in
-    c.footprint0 <- (if fp = [] then None else Some fp)
+    c.footprint0 <- (if Array.length fp = 0 then None else Some fp)
   end
   else fig1_close t c;
   Txn.reset c.txn;
@@ -449,15 +462,18 @@ let blocked_by_remote_lock t c line =
 
 let spec_load t c addr =
   let line = Mem.Addr.line_of addr in
-  touch_line c line;
+  touch_line t c line;
   blocked_by_remote_lock t c line;
   if (not c.failed_mode) && not (blind t line) then begin
-    let writers = Conflict_map.conflicting_writers t.conflicts ~core:c.id line in
-    List.iter
-      (fun w ->
-        let v = t.cores.(w) in
-        if victim_protected t c v then raise (Abort_now Abort.Nacked) else doom t v Abort.Memory_conflict (Some line))
-      writers
+    let wmask = Conflict_map.writers_excl t.conflicts ~core:c.id line in
+    t.perf.conflict_checks <- t.perf.conflict_checks + 1;
+    if wmask <> 0 then begin
+      t.perf.conflict_hits <- t.perf.conflict_hits + 1;
+      Conflict_map.iter_cores wmask (fun w ->
+          let v = t.cores.(w) in
+          if victim_protected t c v then raise (Abort_now Abort.Nacked)
+          else doom t v Abort.Memory_conflict (Some line))
+    end
   end;
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
   check_evictions c outcome;
@@ -465,12 +481,13 @@ let spec_load t c addr =
   if (not c.failed_mode) && not (blind t line) then Conflict_map.add_reader t.conflicts ~core:c.id line;
   record_in_alt t c line ~written:false;
   cap_read t c line;
+  t.perf.store_forward_scans <- t.perf.store_forward_scans + 1;
   let value = match Txn.forwarded c.txn addr with Some v -> v | None -> Mem.Store.read t.store addr in
   (value, outcome.Mem.Hierarchy.latency)
 
 let spec_store t c addr value =
   let line = Mem.Addr.line_of addr in
-  touch_line c line;
+  touch_line t c line;
   record_in_alt t c line ~written:true;
   if c.failed_mode then begin
     (* Failed mode: stores stay in the SQ, no coherence traffic. *)
@@ -490,16 +507,18 @@ let spec_store t c addr value =
   else begin
     blocked_by_remote_lock t c line;
     if not (blind t line) then begin
-      let victims =
-        Conflict_map.conflicting_writers t.conflicts ~core:c.id line
-        @ Conflict_map.conflicting_readers t.conflicts ~core:c.id line
+      let mask =
+        Conflict_map.writers_excl t.conflicts ~core:c.id line
+        lor Conflict_map.readers_excl t.conflicts ~core:c.id line
       in
-      List.iter
-        (fun w ->
-          let v = t.cores.(w) in
-          if victim_protected t c v then raise (Abort_now Abort.Nacked)
-          else doom t v Abort.Memory_conflict (Some line))
-        (List.sort_uniq compare victims)
+      t.perf.conflict_checks <- t.perf.conflict_checks + 1;
+      if mask <> 0 then begin
+        t.perf.conflict_hits <- t.perf.conflict_hits + 1;
+        Conflict_map.iter_cores mask (fun w ->
+            let v = t.cores.(w) in
+            if victim_protected t c v then raise (Abort_now Abort.Nacked)
+            else doom t v Abort.Memory_conflict (Some line))
+      end
     end;
     let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
     check_evictions c outcome;
@@ -516,7 +535,7 @@ let spec_store t c addr value =
    assessment was wrong — defensively fall back to a speculative retry. *)
 let nscl_load t c addr =
   let line = Mem.Addr.line_of addr in
-  touch_line c line;
+  touch_line t c line;
   if Mem.Hierarchy.locked_by t.hierarchy line <> Some c.id then raise (Abort_now Abort.Scl_deviation);
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
   cap_read t c line;
@@ -524,7 +543,7 @@ let nscl_load t c addr =
 
 let nscl_store t c addr value =
   let line = Mem.Addr.line_of addr in
-  touch_line c line;
+  touch_line t c line;
   if Mem.Hierarchy.locked_by t.hierarchy line <> Some c.id then raise (Abort_now Abort.Scl_deviation);
   let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
   Mem.Store.write t.store addr value;
@@ -537,9 +556,10 @@ let nscl_store t c addr value =
 let scl_load t c addr =
   let line = Mem.Addr.line_of addr in
   if Mem.Hierarchy.locked_by t.hierarchy line = Some c.id then begin
-    touch_line c line;
+    touch_line t c line;
     let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
     cap_read t c line;
+    t.perf.store_forward_scans <- t.perf.store_forward_scans + 1;
     let value = match Txn.forwarded c.txn addr with Some v -> v | None -> Mem.Store.read t.store addr in
     (value, outcome.Mem.Hierarchy.latency)
   end
@@ -548,7 +568,7 @@ let scl_load t c addr =
 let scl_store t c addr value =
   let line = Mem.Addr.line_of addr in
   if Mem.Hierarchy.locked_by t.hierarchy line = Some c.id then begin
-    touch_line c line;
+    touch_line t c line;
     let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
     Txn.buffer_store c.txn addr value;
     Txn.write_line c.txn line;
@@ -560,22 +580,26 @@ let scl_store t c addr value =
 
 let fallback_load t c addr =
   let line = Mem.Addr.line_of addr in
-  touch_line c line;
+  touch_line t c line;
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
   cap_read t c line;
   (Mem.Store.read t.store addr, outcome.Mem.Hierarchy.latency)
 
 let fallback_store t c addr value =
   let line = Mem.Addr.line_of addr in
-  touch_line c line;
-  let victims =
-    Conflict_map.conflicting_writers t.conflicts ~core:c.id line
-    @ Conflict_map.conflicting_readers t.conflicts ~core:c.id line
-  in
+  touch_line t c line;
   (* Unprotected fallback stores clash with any straggling speculative
      reader/writer (they subscribed to the lock but may not have processed
      the abort yet). *)
-  List.iter (fun w -> doom t t.cores.(w) Abort.Other_fallback (Some line)) (List.sort_uniq compare victims);
+  let mask =
+    Conflict_map.writers_excl t.conflicts ~core:c.id line
+    lor Conflict_map.readers_excl t.conflicts ~core:c.id line
+  in
+  t.perf.conflict_checks <- t.perf.conflict_checks + 1;
+  if mask <> 0 then begin
+    t.perf.conflict_hits <- t.perf.conflict_hits + 1;
+    Conflict_map.iter_cores mask (fun w -> doom t t.cores.(w) Abort.Other_fallback (Some line))
+  end;
   let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
   Mem.Store.write t.store addr value;
   cap_write t c line;
@@ -659,7 +683,7 @@ let begin_attempt_common c =
   c.alt_overflow <- false;
   c.sq_overflow <- false;
   c.failed_mode <- false;
-  Hashtbl.reset c.attempt_lines;
+  Simrt.Lineset.clear c.attempt_lines;
   cap_reset c;
   c.phase <- P_exec
 
@@ -739,13 +763,11 @@ let step_lock t c =
              the line in its sets loses it (the lock's invalidation is a
              conflicting request it cannot win). *)
           let line = entry.Clear.Alt.line in
-          let victims =
-            Conflict_map.conflicting_writers t.conflicts ~core:c.id line
-            @ Conflict_map.conflicting_readers t.conflicts ~core:c.id line
+          let mask =
+            Conflict_map.writers_excl t.conflicts ~core:c.id line
+            lor Conflict_map.readers_excl t.conflicts ~core:c.id line
           in
-          List.iter
-            (fun w -> doom t t.cores.(w) Abort.Memory_conflict (Some line))
-            (List.sort_uniq compare victims);
+          Conflict_map.iter_cores mask (fun w -> doom t t.cores.(w) Abort.Memory_conflict (Some line));
           trace_ev t c (Trace.Locked line);
           lock_ev t
             (Check.Lock_safety.Lock
@@ -769,7 +791,7 @@ let enter_failed_mode t c cause =
   c.failed_cause <- cause;
   (* Our accesses are non-aborting from now on: withdraw from conflict
      detection so we damage no other transaction. *)
-  Conflict_map.remove_core t.conflicts ~core:c.id ~lines:(Txn.footprint c.txn);
+  Txn.iter_lines c.txn (fun line -> Conflict_map.remove_line t.conflicts ~core:c.id line);
   c.pending_abort <- None
 
 let step_exec t c =
@@ -884,7 +906,12 @@ let step t c =
   | P_exec -> step_exec t c
   | P_done -> 0
 
+let gc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
 let run ?(max_cycles = 4_000_000_000) t =
+  let words_before = gc_words () in
   let remaining = ref (Array.length t.cores) in
   let last_time = ref 0 in
   let continue = ref true in
@@ -892,6 +919,7 @@ let run ?(max_cycles = 4_000_000_000) t =
     match Event_queue.pop t.queue with
     | None -> failwith "Engine.run: event queue drained with unfinished threads"
     | Some (time, id) ->
+        t.perf.events_popped <- t.perf.events_popped + 1;
         if time > max_cycles then begin
           let dump =
             Array.to_list t.cores
@@ -941,6 +969,8 @@ let run ?(max_cycles = 4_000_000_000) t =
         if !remaining = 0 then continue := false
   done;
   Stats.set_total_cycles t.stats !last_time;
+  t.perf.sims <- t.perf.sims + 1;
+  t.perf.allocated_words <- t.perf.allocated_words + int_of_float (gc_words () -. words_before);
   t.stats
 
 let run_workload cfg workload = run (create cfg workload)

@@ -42,5 +42,10 @@ val run : ?max_cycles:int -> t -> Stats.t
 val store : t -> Mem.Store.t
 (** The backing store, for post-run invariant checks in tests. *)
 
+val perfctr : t -> Simrt.Perfctr.t
+(** Hot-path performance counters accumulated by {!run}. Engine-internal
+    instrumentation only — never part of the simulated statistics, so reading
+    (or ignoring) them cannot affect simulation output. *)
+
 val run_workload : Config.t -> Workload.t -> Stats.t
 (** [create] + [run]. *)

@@ -1,30 +1,35 @@
+(* Read/write sets are Linesets (flat growable int arrays — transactional
+   footprints are a handful of lines, so linear membership beats hashing and
+   nothing allocates per access). The store buffer is the log itself: two
+   parallel growable int arrays in program order. Forwarding scans the log
+   newest-first and commit drains it oldest-first, so no separate addr->value
+   table is needed; SQ capacity bounds the scan at a few dozen entries. *)
+
 type t = {
-  read_set : (Mem.Addr.line, unit) Hashtbl.t;
-  write_set : (Mem.Addr.line, unit) Hashtbl.t;
-  buffer : (Mem.Addr.t, int) Hashtbl.t;
-  mutable log : (Mem.Addr.t * int) list; (* program order, reversed *)
-  mutable stores : int;
+  read_set : Simrt.Lineset.t;
+  write_set : Simrt.Lineset.t;
+  mutable log_addr : int array;
+  mutable log_val : int array;
+  mutable log_len : int;
   mutable active : bool;
   mutable power : bool;
 }
 
 let create () =
   {
-    read_set = Hashtbl.create 64;
-    write_set = Hashtbl.create 64;
-    buffer = Hashtbl.create 64;
-    log = [];
-    stores = 0;
+    read_set = Simrt.Lineset.create ~hint:64 ();
+    write_set = Simrt.Lineset.create ~hint:64 ();
+    log_addr = Array.make 64 0;
+    log_val = Array.make 64 0;
+    log_len = 0;
     active = false;
     power = false;
   }
 
 let reset t =
-  Hashtbl.reset t.read_set;
-  Hashtbl.reset t.write_set;
-  Hashtbl.reset t.buffer;
-  t.log <- [];
-  t.stores <- 0;
+  Simrt.Lineset.clear t.read_set;
+  Simrt.Lineset.clear t.write_set;
+  t.log_len <- 0;
   t.active <- false;
   t.power <- false
 
@@ -34,44 +39,61 @@ let start t =
   reset t;
   t.active <- true
 
-let read_line t line = Hashtbl.replace t.read_set line ()
+let read_line t line = Simrt.Lineset.add t.read_set line
 
-let write_line t line = Hashtbl.replace t.write_set line ()
+let write_line t line = Simrt.Lineset.add t.write_set line
 
-let in_read_set t line = Hashtbl.mem t.read_set line
+let in_read_set t line = Simrt.Lineset.mem t.read_set line
 
-let in_write_set t line = Hashtbl.mem t.write_set line
+let in_write_set t line = Simrt.Lineset.mem t.write_set line
 
 let in_either_set t line = in_read_set t line || in_write_set t line
 
-let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+let read_set t = Simrt.Lineset.sorted_list t.read_set
 
-let read_set t = keys t.read_set
+let write_set t = Simrt.Lineset.sorted_list t.write_set
 
-let write_set t = keys t.write_set
+let iter_lines t f =
+  Simrt.Lineset.iter t.read_set f;
+  Simrt.Lineset.iter t.write_set f
 
 let footprint t =
-  let all = Hashtbl.copy t.read_set in
-  Hashtbl.iter (fun k () -> Hashtbl.replace all k ()) t.write_set;
-  keys all
+  let acc = ref [] in
+  Simrt.Lineset.iter t.write_set (fun l ->
+      if not (Simrt.Lineset.mem t.read_set l) then acc := l :: !acc);
+  Simrt.Lineset.iter t.read_set (fun l -> acc := l :: !acc);
+  List.sort compare !acc
 
 let footprint_size t =
-  let extra = Hashtbl.fold (fun k () n -> if Hashtbl.mem t.read_set k then n else n + 1) t.write_set 0 in
-  Hashtbl.length t.read_set + extra
+  let extra = ref 0 in
+  Simrt.Lineset.iter t.write_set (fun l ->
+      if not (Simrt.Lineset.mem t.read_set l) then incr extra);
+  Simrt.Lineset.size t.read_set + !extra
 
 let buffer_store t addr v =
-  Hashtbl.replace t.buffer addr v;
-  t.log <- (addr, v) :: t.log;
-  t.stores <- t.stores + 1
+  if t.log_len = Array.length t.log_addr then begin
+    let cap = 2 * t.log_len in
+    let na = Array.make cap 0 and nv = Array.make cap 0 in
+    Array.blit t.log_addr 0 na 0 t.log_len;
+    Array.blit t.log_val 0 nv 0 t.log_len;
+    t.log_addr <- na;
+    t.log_val <- nv
+  end;
+  t.log_addr.(t.log_len) <- addr;
+  t.log_val.(t.log_len) <- v;
+  t.log_len <- t.log_len + 1
 
-let forwarded t addr = Hashtbl.find_opt t.buffer addr
+let forwarded t addr =
+  let rec scan i = if i < 0 then None else if t.log_addr.(i) = addr then Some t.log_val.(i) else scan (i - 1) in
+  scan (t.log_len - 1)
 
-let store_count t = t.stores
+let store_count t = t.log_len
 
 let drain t store =
-  let ordered = List.rev t.log in
-  List.iter (fun (addr, v) -> Mem.Store.write store addr v) ordered;
-  List.length ordered
+  for i = 0 to t.log_len - 1 do
+    Mem.Store.write store t.log_addr.(i) t.log_val.(i)
+  done;
+  t.log_len
 
 let power t = t.power
 

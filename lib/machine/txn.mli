@@ -31,6 +31,11 @@ val read_set : t -> Mem.Addr.line list
 
 val write_set : t -> Mem.Addr.line list
 
+val iter_lines : t -> (Mem.Addr.line -> unit) -> unit
+(** Visit every line of the read set then of the write set, without
+    allocating; lines in both sets are visited twice, so the callback must
+    be idempotent (conflict-map withdrawal is). *)
+
 val footprint : t -> Mem.Addr.line list
 (** Union of read and write sets, sorted. *)
 

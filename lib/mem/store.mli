@@ -1,12 +1,22 @@
-(** Flat backing store: the simulated machine's physical memory.
+(** Chunked backing store: the simulated machine's physical memory.
 
     One 63-bit OCaml int per 64-bit word. Workload values fit comfortably;
-    addresses stored in memory (pointers) are plain word addresses. *)
+    addresses stored in memory (pointers) are plain word addresses.
+
+    Memory is organised in 4096-word chunks shared copy-on-write: a fresh
+    store aliases one global zero chunk everywhere, and {!snapshot} freezes
+    the current chunks into an immutable {!image} in O(chunks) instead of
+    copying the whole address space. Untouched chunks stay physically shared
+    between a store, its snapshots and stores rebuilt from them, which makes
+    snapshot/replay/compare in the execution oracle O(touched words). *)
 
 type t
 
+type image
+(** Immutable memory image (cheap snapshot; chunks shared COW). *)
+
 val create : words:int -> t
-(** Zero-initialised memory of [words] words. *)
+(** Zero-initialised memory of [words] words. O(words / 4096). *)
 
 val size : t -> int
 
@@ -18,11 +28,27 @@ val write : t -> Addr.t -> int -> unit
 val fill : t -> Addr.t -> len:int -> int -> unit
 (** [fill t a ~len v] writes [v] to [len] consecutive words from [a]. *)
 
-val snapshot : t -> int array
-(** Copy of the full memory image (execution-oracle capture). *)
+val snapshot : t -> image
+(** Freeze the current contents (execution-oracle capture). The store stays
+    usable; later writes clone the affected chunk, never the image. *)
 
-val of_snapshot : int array -> t
-(** Fresh store initialised from a snapshot (the array is copied). *)
+val of_snapshot : image -> t
+(** Fresh store initialised from an image (chunks shared until written). *)
+
+val image_words : image -> int
+
+val image_read : image -> Addr.t -> int
+
+val image_of_array : int array -> image
+(** Materialise an image from a flat array (tests, hand-built histories). *)
+
+val image_to_array : image -> int array
+
+val image_diff : image -> image -> (Addr.t * int * int * int) option
+(** [image_diff a b] is [None] when equal, otherwise
+    [Some (first_addr, a_value, b_value, differing_words)]. Physically
+    shared chunks are skipped without scanning. Raises [Invalid_argument]
+    when the images differ in size. *)
 
 val with_observer : t -> (Addr.t -> int -> unit) -> (unit -> 'a) -> 'a
 (** [with_observer t f body] runs [body] with [f] invoked after every

@@ -1,0 +1,30 @@
+(** Hot-path performance counters.
+
+    Unlike {!Counter} (string-keyed, hashtable-backed, part of the
+    simulation's statistics), a [Perfctr.t] is a flat record of mutable
+    ints the engine bumps directly on its per-event datapath — cheap enough
+    to stay on even in production runs, and deliberately {e outside} the
+    simulated statistics so enabling or extending it can never perturb
+    simulation output. Dumped by [bench/main.exe --perf] and recorded in
+    BENCH_suite.json to keep the datapath costs measured across PRs. *)
+
+type t = {
+  mutable sims : int;  (** simulations aggregated into this record *)
+  mutable events_popped : int;  (** event-queue pops (engine main loop) *)
+  mutable conflict_checks : int;  (** conflict-map mask queries *)
+  mutable conflict_hits : int;  (** queries returning a non-empty victim mask *)
+  mutable footprint_inserts : int;  (** per-attempt footprint line touches *)
+  mutable store_forward_scans : int;  (** store-buffer lookups by loads *)
+  mutable aborts : int;
+  mutable commits : int;
+  mutable allocated_words : int;  (** OCaml words allocated during [Engine.run] *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val merge_into : dst:t -> t -> unit
+
+val to_list : t -> (string * int) list
+(** Stable name/value pairs for reporting. *)

@@ -6,6 +6,7 @@ type t = {
   work_available : Condition.t;
   work_done : Condition.t;
   queue : job Queue.t;
+  busy : bool Atomic.t; (* a [map] is in flight: single-submitter guard *)
   mutable pending : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
@@ -41,6 +42,7 @@ let create ~jobs =
       work_available = Condition.create ();
       work_done = Condition.create ();
       queue = Queue.create ();
+      busy = Atomic.make false;
       pending = 0;
       stopping = false;
       workers = [];
@@ -60,6 +62,13 @@ let shutdown t =
   t.workers <- []
 
 let map t f xs =
+  (* The completion protocol (a shared [pending] counter drained to zero)
+     cannot tell two submitters' batches apart, so interleaved [map] calls
+     would wait on each other's jobs. Enforce the documented single-submitter
+     contract instead of corrupting the wait. *)
+  if not (Atomic.compare_and_set t.busy false true) then
+    invalid_arg "Pool.map: concurrent submitters on a single-submitter pool";
+  Fun.protect ~finally:(fun () -> Atomic.set t.busy false) @@ fun () ->
   let arr = Array.of_list xs in
   let n = Array.length arr in
   if n = 0 then []

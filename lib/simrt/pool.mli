@@ -8,7 +8,9 @@
 
 type t
 (** A pool of worker domains. One submitter at a time: [map] must not be
-    called concurrently from several domains on the same pool. *)
+    called concurrently from several domains on the same pool — a second
+    concurrent call raises [Invalid_argument] (the completion protocol
+    cannot tell two batches apart). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1] (the submitting domain keeps a

@@ -154,20 +154,24 @@ let store_ar =
       I.Halt;
     |]
 
+let image_of words = Mem.Store.image_of_array words
+
 let test_replay_accepts_faithful_history () =
   let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 5) ] () in
-  let initial = Array.make 16 0 in
+  let initial = image_of (Array.make 16 0) in
   let final = Array.make 16 0 in
   final.(0) <- 5;
+  let final = image_of final in
   Alcotest.(check bool) "faithful history accepted" true
     (Result.is_ok (Check.Replay.run ~initial ~entries:[ Check.Collector.Commit w ] ~final))
 
 let test_replay_detects_store_mismatch () =
   (* The witness claims the simulation drained M[0] <- 6; the body stores 5. *)
   let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 6) ] () in
-  let initial = Array.make 16 0 in
+  let initial = image_of (Array.make 16 0) in
   let final = Array.make 16 0 in
   final.(0) <- 6;
+  let final = image_of final in
   match Check.Replay.run ~initial ~entries:[ Check.Collector.Commit w ] ~final with
   | Error (Check.Replay.Store_mismatch _) -> ()
   | Error d ->
@@ -177,10 +181,11 @@ let test_replay_detects_store_mismatch () =
 let test_replay_detects_memory_mismatch () =
   (* Store logs agree but the final image contains a word nobody wrote. *)
   let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 5) ] () in
-  let initial = Array.make 16 0 in
+  let initial = image_of (Array.make 16 0) in
   let final = Array.make 16 0 in
   final.(0) <- 5;
   final.(9) <- 123;
+  let final = image_of final in
   match Check.Replay.run ~initial ~entries:[ Check.Collector.Commit w ] ~final with
   | Error (Check.Replay.Memory_mismatch { addr; differing; _ }) ->
       Alcotest.(check int) "first differing word" 9 addr;
@@ -190,10 +195,11 @@ let test_replay_detects_memory_mismatch () =
 
 let test_replay_applies_driver_writes () =
   let w = witness ~ar:store_ar ~writes:[ (0, 1) ] ~stores:[ (0, 5) ] () in
-  let initial = Array.make 16 0 in
+  let initial = image_of (Array.make 16 0) in
   let final = Array.make 16 0 in
   final.(0) <- 5;
   final.(12) <- 7;
+  let final = image_of final in
   let entries =
     [
       Check.Collector.Driver_writes { time = 0; core = 1; stores = [ (12, 7) ] };

@@ -66,6 +66,78 @@ let test_seed_changes_outcome () =
   in
   Alcotest.(check bool) "different seeds differ" true (run 1 <> run 2)
 
+(* Golden fingerprints: (total cycles, commits, aborts, instrs, wasted)
+   captured from the original engine (Hashtbl conflict map, list-based
+   footprints, flat-array store) at 4 cores, 40 ops/thread, 4 retries.
+   The flat hot-path data structures must reproduce every simulated run
+   bit for bit — any drift here is a semantic change, not an optimisation. *)
+let golden_fingerprints =
+  [
+    ("hashmap", "B", 3, (18403, 160, 16, 3738, 204));
+    ("hashmap", "B", 5, (21077, 160, 15, 4267, 324));
+    ("hashmap", "B", 7, (18138, 160, 18, 3612, 278));
+    ("hashmap", "P", 3, (18392, 160, 17, 3739, 211));
+    ("hashmap", "P", 5, (21077, 160, 15, 4267, 324));
+    ("hashmap", "P", 7, (18138, 160, 18, 3612, 278));
+    ("hashmap", "C", 3, (18657, 160, 18, 4004, 449));
+    ("hashmap", "C", 5, (20871, 160, 18, 4435, 503));
+    ("hashmap", "C", 7, (18005, 160, 14, 3807, 472));
+    ("hashmap", "W", 3, (18657, 160, 18, 4004, 449));
+    ("hashmap", "W", 5, (20871, 160, 18, 4435, 503));
+    ("hashmap", "W", 7, (17864, 160, 14, 3776, 441));
+    ("bitcoin", "B", 3, (20713, 160, 44, 1639, 199));
+    ("bitcoin", "B", 5, (20339, 160, 44, 1648, 208));
+    ("bitcoin", "B", 7, (20533, 160, 47, 1676, 236));
+    ("bitcoin", "P", 3, (20269, 160, 47, 1623, 183));
+    ("bitcoin", "P", 5, (19952, 160, 24, 1561, 121));
+    ("bitcoin", "P", 7, (20121, 160, 45, 1642, 202));
+    ("bitcoin", "C", 3, (19303, 160, 19, 1612, 171));
+    ("bitcoin", "C", 5, (19684, 160, 18, 1602, 162));
+    ("bitcoin", "C", 7, (19186, 160, 26, 1676, 234));
+    ("bitcoin", "W", 3, (19303, 160, 19, 1612, 171));
+    ("bitcoin", "W", 5, (19684, 160, 18, 1602, 162));
+    ("bitcoin", "W", 7, (19186, 160, 26, 1676, 234));
+    ("bst", "B", 3, (22021, 160, 11, 9243, 67));
+    ("bst", "B", 5, (21214, 160, 2, 8303, 90));
+    ("bst", "B", 7, (22165, 160, 1, 9071, 27));
+    ("bst", "P", 3, (21848, 160, 4, 9222, 46));
+    ("bst", "P", 5, (21214, 160, 2, 8303, 90));
+    ("bst", "P", 7, (22165, 160, 1, 9071, 27));
+    ("bst", "C", 3, (21848, 160, 3, 9324, 146));
+    ("bst", "C", 5, (21238, 160, 2, 8329, 116));
+    ("bst", "C", 7, (22165, 160, 1, 9102, 58));
+    ("bst", "W", 3, (21848, 160, 3, 9324, 146));
+    ("bst", "W", 5, (21238, 160, 2, 8329, 116));
+    ("bst", "W", 7, (22165, 160, 1, 9102, 58));
+  ]
+
+let test_golden_fingerprints () =
+  List.iter
+    (fun (wname, letter, seed, (gc, gcm, gab, gin, gwa)) ->
+      let preset =
+        match letter with
+        | "B" -> Config.baseline
+        | "P" -> Config.power_tm
+        | "C" -> Config.clear_rw
+        | _ -> Config.clear_power
+      in
+      let cfg =
+        Config.with_seed { preset with Config.cores = 4; ops_per_thread = 40; max_retries = 4 } seed
+      in
+      let stats = Engine.run_workload cfg (Workloads.Registry.find wname) in
+      let got =
+        ( Stats.total_cycles stats,
+          Stats.commits stats,
+          Stats.aborts stats,
+          Stats.instrs stats,
+          Stats.wasted_instrs stats )
+      in
+      let c, cm, ab, ins, wa = got in
+      if got <> (gc, gcm, gab, gin, gwa) then
+        Alcotest.failf "%s/%s seed %d: got (%d,%d,%d,%d,%d), golden (%d,%d,%d,%d,%d)" wname letter
+          seed c cm ab ins wa gc gcm gab gin gwa)
+    golden_fingerprints
+
 (* ------------------------------------------------------------------ *)
 (* Atomicity invariants on real workloads, under every configuration. *)
 
@@ -421,8 +493,11 @@ let () =
           case "cycles accrue" test_total_cycles_positive;
         ] );
       ( "determinism",
-        [ case "same seed, same run" test_determinism; case "seed sensitivity" test_seed_changes_outcome ]
-      );
+        [
+          case "same seed, same run" test_determinism;
+          case "seed sensitivity" test_seed_changes_outcome;
+          case "golden fingerprints (pre-rewrite engine)" test_golden_fingerprints;
+        ] );
       ( "atomicity",
         per_preset "bitcoin conservation" test_bitcoin_conservation
         @ per_preset "mwobject sums" test_mwobject_sums

@@ -87,7 +87,7 @@ let test_txn_reset () =
 (* Conflict_map *)
 
 let test_conflict_map () =
-  let m = Conflict_map.create ~cores:4 in
+  let m = Conflict_map.create ~cores:4 () in
   Conflict_map.add_reader m ~core:0 7;
   Conflict_map.add_reader m ~core:2 7;
   Conflict_map.add_writer m ~core:1 7;
@@ -98,6 +98,75 @@ let test_conflict_map () =
   Alcotest.(check int) "writer mask" 2 (Conflict_map.writers m 7);
   Conflict_map.clear m;
   Alcotest.(check int) "cleared" 0 (Conflict_map.writers m 7)
+
+let test_conflict_map_excl_masks () =
+  let m = Conflict_map.create ~lines:4 ~cores:8 () in
+  (* line 300 is far beyond the 4-line hint: growth must be transparent. *)
+  Conflict_map.add_reader m ~core:0 300;
+  Conflict_map.add_reader m ~core:5 300;
+  Conflict_map.add_writer m ~core:3 300;
+  Alcotest.(check int) "readers_excl drops own bit" 0b100000
+    (Conflict_map.readers_excl m ~core:0 300);
+  Alcotest.(check int) "writers_excl keeps others" 0b1000 (Conflict_map.writers_excl m ~core:0 300);
+  Alcotest.(check int) "writers_excl drops own bit" 0 (Conflict_map.writers_excl m ~core:3 300);
+  Alcotest.(check int) "query beyond capacity is empty" 0 (Conflict_map.readers m 1_000_000);
+  let seen = ref [] in
+  Conflict_map.iter_cores 0b101001 (fun c -> seen := c :: !seen);
+  Alcotest.(check (list int)) "iter_cores ascending" [ 0; 3; 5 ] (List.rev !seen)
+
+(* Property: the flat line-indexed array behaves exactly like a reference
+   Hashtbl model under random add/remove/query scripts, including removals
+   of lines never added and queries far past the pre-sized capacity. *)
+let prop_conflict_map_model =
+  let cores = 8 in
+  let op_gen =
+    QCheck.Gen.(
+      triple (int_range 0 3) (int_range 0 (cores - 1)) (int_range 0 200)
+      |> map (fun (tag, core, line) -> (tag, core, line)))
+  in
+  QCheck.Test.make ~name:"Conflict_map agrees with a Hashtbl model" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 120) op_gen))
+    (fun script ->
+      let m = Conflict_map.create ~lines:8 ~cores () in
+      (* Model: line -> (reader mask, writer mask). *)
+      let model : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+      let masks line = Option.value (Hashtbl.find_opt model line) ~default:(0, 0) in
+      List.for_all
+        (fun (tag, core, line) ->
+          (match tag with
+          | 0 ->
+              Conflict_map.add_reader m ~core line;
+              let r, w = masks line in
+              Hashtbl.replace model line (r lor (1 lsl core), w)
+          | 1 ->
+              Conflict_map.add_writer m ~core line;
+              let r, w = masks line in
+              Hashtbl.replace model line (r, w lor (1 lsl core))
+          | 2 ->
+              Conflict_map.remove_line m ~core line;
+              let r, w = masks line in
+              let keep = lnot (1 lsl core) in
+              Hashtbl.replace model line (r land keep, w land keep)
+          | _ ->
+              Conflict_map.remove_core m ~core ~lines:[ line; line + 7 ];
+              let keep = lnot (1 lsl core) in
+              List.iter
+                (fun l ->
+                  let r, w = masks l in
+                  Hashtbl.replace model l (r land keep, w land keep))
+                [ line; line + 7 ]);
+          let r, w = masks line in
+          let excl c mask = mask land lnot (1 lsl c) in
+          let to_list mask =
+            List.filter (fun c -> mask land (1 lsl c) <> 0) (List.init cores Fun.id)
+          in
+          Conflict_map.readers m line = r
+          && Conflict_map.writers m line = w
+          && Conflict_map.readers_excl m ~core line = excl core r
+          && Conflict_map.writers_excl m ~core line = excl core w
+          && Conflict_map.conflicting_readers m ~core line = to_list (excl core r)
+          && Conflict_map.conflicting_writers m ~core line = to_list (excl core w))
+        script)
 
 (* ------------------------------------------------------------------ *)
 (* Fallback_lock *)
@@ -266,7 +335,12 @@ let () =
           Alcotest.test_case "drain order" `Quick test_txn_drain_order;
           Alcotest.test_case "reset" `Quick test_txn_reset;
         ] );
-      ("conflict_map", [ Alcotest.test_case "basics" `Quick test_conflict_map ]);
+      ( "conflict_map",
+        [
+          Alcotest.test_case "basics" `Quick test_conflict_map;
+          Alcotest.test_case "excl masks + growth" `Quick test_conflict_map_excl_masks;
+          QCheck_alcotest.to_alcotest prop_conflict_map_model;
+        ] );
       ( "fallback_lock",
         [
           Alcotest.test_case "rw semantics" `Quick test_fallback_rw_semantics;

@@ -267,6 +267,47 @@ let test_pool_exception_propagates () =
            (fun x -> if x = 5 then failwith "boom" else x)
            (List.init 10 (fun i -> i))))
 
+(* Random job counts, sizes and failure points: results must equal the
+   sequential map and a raising job must surface as that exception. *)
+let prop_pool_hammer =
+  QCheck.Test.make ~name:"parallel_map under random jobs and failures" ~count:25
+    QCheck.(triple (int_range 1 6) (int_range 0 40) (option (int_range 0 60)))
+    (fun (jobs, n, boom) ->
+      let xs = List.init n (fun i -> i) in
+      let f x = match boom with Some b when x = b -> failwith "hammer" | _ -> (x * 2) + 1 in
+      let expect_raise = match boom with Some b -> b < n | None -> false in
+      match Pool.parallel_map ~jobs f xs with
+      | results -> (not expect_raise) && results = List.init n (fun i -> (i * 2) + 1)
+      | exception Failure msg -> expect_raise && msg = "hammer")
+
+(* The completion protocol is single-submitter by contract; a second
+   concurrent [map] must be rejected, not silently interleaved. *)
+let test_pool_single_submitter_guard () =
+  let p = Pool.create ~jobs:2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let started = Atomic.make false and release = Atomic.make false in
+  let submitter =
+    Domain.spawn (fun () ->
+        Pool.map p
+          (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done)
+          [ () ])
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let rejected =
+    match Pool.map p (fun x -> x) [ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Atomic.set release true;
+  ignore (Domain.join submitter : unit list);
+  Alcotest.(check bool) "second submitter rejected" true rejected
+
 let test_pool_reusable () =
   let p = Pool.create ~jobs:3 in
   Fun.protect
@@ -276,6 +317,55 @@ let test_pool_reusable () =
       Alcotest.(check (list int)) "first batch" [ 1; 2; 3 ] (Pool.map p (fun x -> x + 1) [ 0; 1; 2 ]);
       Alcotest.(check (list string)) "second batch, other type" [ "a!"; "b!" ]
         (Pool.map p (fun s -> s ^ "!") [ "a"; "b" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Lineset *)
+
+module Lineset = Simrt.Lineset
+
+(* Random add/clear script checked against a reference Hashtbl set: size,
+   membership and the sorted view must always agree. [None] means clear. *)
+let prop_lineset_model =
+  QCheck.Test.make ~name:"Lineset agrees with a reference set model" ~count:200
+    QCheck.(list (option (int_range 0 60)))
+    (fun script ->
+      let ls = Lineset.create ~hint:2 () in
+      let model = Hashtbl.create 16 in
+      let model_sorted () = Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare in
+      List.for_all
+        (function
+          | None ->
+              Lineset.clear ls;
+              Hashtbl.reset model;
+              Lineset.is_empty ls
+          | Some x ->
+              Lineset.add ls x;
+              Hashtbl.replace model x ();
+              Lineset.mem ls x
+              && Lineset.size ls = Hashtbl.length model
+              && Lineset.sorted_list ls = model_sorted ()
+              && Array.to_list (Lineset.sorted_view ls) = model_sorted ())
+        script)
+
+(* The cached sorted view must stay valid (same contents) after later
+   mutations — the engine holds attempt-0 footprints across attempts. *)
+let test_lineset_view_stable () =
+  let ls = Lineset.create () in
+  List.iter (Lineset.add ls) [ 5; 1; 9 ];
+  let view = Lineset.sorted_view ls in
+  Alcotest.(check (array int)) "sorted" [| 1; 5; 9 |] view;
+  Lineset.add ls 3;
+  Lineset.clear ls;
+  Lineset.add ls 42;
+  Alcotest.(check (array int)) "old view untouched" [| 1; 5; 9 |] view;
+  Alcotest.(check (array int)) "new view current" [| 42 |] (Lineset.sorted_view ls)
+
+let test_lineset_insertion_order () =
+  let ls = Lineset.create () in
+  List.iter (Lineset.add ls) [ 7; 2; 7; 4; 2 ];
+  let seen = ref [] in
+  Lineset.iter ls (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "dedup, insertion order" [ 7; 2; 4 ] (List.rev !seen)
 
 (* ------------------------------------------------------------------ *)
 (* Counter *)
@@ -337,7 +427,15 @@ let () =
           Alcotest.test_case "more jobs than work" `Quick test_pool_more_jobs_than_work;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
           Alcotest.test_case "pool reuse across batches" `Quick test_pool_reusable;
-        ] );
+          Alcotest.test_case "single-submitter guard" `Quick test_pool_single_submitter_guard;
+        ]
+        @ qsuite [ prop_pool_hammer ] );
+      ( "lineset",
+        [
+          Alcotest.test_case "sorted view stable across mutations" `Quick test_lineset_view_stable;
+          Alcotest.test_case "iter dedups in insertion order" `Quick test_lineset_insertion_order;
+        ]
+        @ qsuite [ prop_lineset_model ] );
       ( "summary",
         [
           Alcotest.test_case "mean" `Quick test_mean;
