@@ -8,9 +8,11 @@
      dune exec bench/main.exe -- --jobs 8 fig8 -- sweep on 8 domains
 
    The suite runs on a pool of OCaml domains (--jobs N, default: host cores
-   minus one) and is memoised on disk under _cache/ keyed by the sweep
-   options, the workload list and the executable's digest, so later artefact
-   invocations skip the sweep entirely. --no-cache bypasses the disk cache
+   minus one) and is memoised on disk under _cache/ as one shard per
+   (config, workload, seed) simulation keyed by the executable's digest, so
+   later artefact invocations only re-simulate what is missing — and editing
+   one workload after a rebuild re-simulates the whole sweep once but then
+   shares shards across runs again. --no-cache bypasses the disk cache
    (it neither reads nor writes); --check validates every simulation with
    the execution oracle (and implies --no-cache, since a cache hit would
    skip validation); --smoke selects a tiny fixed suite used by
@@ -62,42 +64,27 @@ let check = ref false
 let perf = ref false
 
 (* The suite is computed once per process and reused by every figure
-   (in-memory cache), and additionally memoised on disk (Suite_cache) so that
-   subsequent invocations of the executable skip the sweep. A --check run
-   bypasses the disk cache in both directions: a hit would skip the oracle,
-   and a checked result is no more reusable than an unchecked one. *)
+   (in-memory cache), and additionally memoised on disk per (config,
+   workload, seed) shard (Suite_cache) so that subsequent invocations of the
+   executable only re-simulate what changed. A --check run bypasses the disk
+   cache in both directions: a hit would skip the oracle, and a checked
+   result is no more reusable than an unchecked one. *)
 let suite_cache : Experiments.suite option ref = ref None
 
 let get_suite opts =
   match !suite_cache with
   | Some s -> s
   | None ->
-      let module Suite_cache = Clear_repro.Suite_cache in
-      let path =
-        Suite_cache.path opts
-          ~workload_names:(List.map (fun (w : Machine.Workload.t) -> w.name) Workloads.Registry.all)
-      in
       let use_cache = !use_disk_cache && not !check in
-      let s =
-        match if use_cache then Suite_cache.load path else None with
-        | Some s ->
-            progress (Printf.sprintf "suite loaded from %s" path);
-            s
-        | None ->
-            progress
-              (Printf.sprintf
-                 "running full suite (4 configs x 19 benchmarks x retry sweep) on %d domain(s)%s..."
-                 !jobs
-                 (if !check then " with the execution oracle" else ""));
-            let t0 = Unix.gettimeofday () in
-            let s = Experiments.run_suite ~jobs:!jobs ~check:!check ~progress opts in
-            progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
-            if use_cache then begin
-              Suite_cache.save path s;
-              progress (Printf.sprintf "cached suite at %s" path)
-            end;
-            s
-      in
+      progress
+        (Printf.sprintf
+           "running full suite (4 configs x 19 benchmarks x retry sweep) on %d domain(s)%s%s..."
+           !jobs
+           (if !check then " with the execution oracle" else "")
+           (if use_cache then ", shard cache on" else ""));
+      let t0 = Unix.gettimeofday () in
+      let s = Experiments.run_suite ~jobs:!jobs ~check:!check ~cache:use_cache ~progress opts in
+      progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
       suite_cache := Some s;
       s
 

@@ -62,9 +62,34 @@ fi
 echo "[perf_smoke] outputs identical across job counts"
 
 echo "[perf_smoke] hot-path counters (--perf)..."
-PERF_JSON=$("$BIN" --smoke --perf 2>/dev/null | awk '
-  /^perfctr / { printf "%s    \"%s\": %s", sep, $2, $3; sep = ",\n" }
+PERF_RAW=$("$BIN" --smoke --perf 2>/dev/null | awk '/^perfctr / { print $2, $3 }')
+PERF_JSON=$(printf '%s\n' "$PERF_RAW" | awk '
+  { printf "%s    \"%s\": %s", sep, $1, $2; sep = ",\n" }
   END { print "" }')
+
+# Soft drift gate: compare the fresh counters against the committed
+# BENCH_suite.json before overwriting it. A counter moving more than 10%
+# in either direction gets a CI-annotation-style warning line; the script
+# never fails on drift (counters legitimately move when the engine changes —
+# the warning just makes the move visible in the PR).
+if [ -f BENCH_suite.json ]; then
+  OLD_PERF=$(awk -F'"' '/^    "/ { name = $2; val = $3; gsub(/[^0-9]/, "", val);
+                                   if (val != "") print name, val }' BENCH_suite.json)
+  printf '%s\n' "$PERF_RAW" | awk -v old_perf="$OLD_PERF" '
+    BEGIN {
+      n = split(old_perf, lines, "\n")
+      for (i = 1; i <= n; i++) { split(lines[i], f, " "); old[f[1]] = f[2] }
+    }
+    {
+      name = $1; new = $2 + 0
+      if (name in old && old[name] + 0 > 0) {
+        o = old[name] + 0
+        pct = 100.0 * (new - o) / o
+        if (pct > 10 || pct < -10)
+          printf "::warning ::perfctr %s drifted %+.1f%% (%d -> %d)\n", name, pct, o, new
+      }
+    }'
+fi
 
 if [ "$HOST_CORES" -ge 2 ]; then
   SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $MS1 / ($MSN == 0 ? 1 : $MSN) }")

@@ -4,7 +4,8 @@
    `clear_sim run -w bst -c W ...`          run one benchmark/config
    `clear_sim suite --jobs 8`               full 4-config sweep on 8 domains
    `clear_sim check -w bst -c W`            validate runs with the execution oracle
-   `clear_sim analyze [-w bst]`             static AR classification
+   `clear_sim analyze [-w bst] [--json]`    static AR verifier (footprints, fits, envelope)
+   `clear_sim lint [--json]`                lint all AR bodies (exit 1 on errors)
    `clear_sim config -c B`                  print the machine configuration *)
 
 open Cmdliner
@@ -179,7 +180,7 @@ let suite_cmd =
   let suite jobs paper workload check no_cache cache_clear =
     if cache_clear then begin
       let n = Suite_cache.clear () in
-      Printf.eprintf "[suite] cleared %d cached suite(s) from %s\n%!" n Suite_cache.dir
+      Printf.eprintf "[suite] cleared %d cache shard(s) from %s\n%!" n Suite_cache.dir
     end;
     let opts = if paper then Experiments.default_options else Experiments.quick_options in
     let workloads =
@@ -191,24 +192,11 @@ let suite_cmd =
     (* A checked sweep must actually simulate — a cache hit would skip the
        oracle entirely — so --check bypasses the cache in both directions. *)
     let use_cache = (not no_cache) && not check in
-    let path =
-      Suite_cache.path opts
-        ~workload_names:(List.map (fun (w : Machine.Workload.t) -> w.name) workloads)
-    in
-    let s =
-      match if use_cache then Suite_cache.load path else None with
-      | Some s ->
-          Printf.eprintf "[suite] loaded from %s\n%!" path;
-          s
-      | None ->
-          let t0 = Unix.gettimeofday () in
-          let s = Experiments.run_suite ~jobs ~check ~workloads ~progress opts in
-          Printf.eprintf "[suite] done in %.1f s on %d domain(s)%s\n%!"
-            (Unix.gettimeofday () -. t0) jobs
-            (if check then " (all runs validated by the execution oracle)" else "");
-          if use_cache then Suite_cache.save path s;
-          s
-    in
+    let t0 = Unix.gettimeofday () in
+    let s = Experiments.run_suite ~jobs ~check ~cache:use_cache ~workloads ~progress opts in
+    Printf.eprintf "[suite] done in %.1f s on %d domain(s)%s\n%!"
+      (Unix.gettimeofday () -. t0) jobs
+      (if check then " (all runs validated by the execution oracle)" else "");
     Report.Table.print (Experiments.fig8 s);
     print_newline ();
     Report.Table.print (Experiments.headline s)
@@ -224,13 +212,15 @@ let suite_cmd =
     Arg.(value & flag
          & info [ "check" ]
              ~doc:"Validate every simulation with the execution oracle (serializability, \
-                   sequential replay, lock safety). Implies bypassing the suite cache.")
+                   sequential replay, lock safety, static soundness gate). Implies bypassing \
+                   the suite cache.")
   in
   let no_cache_arg =
-    Arg.(value & flag & info [ "no-cache" ] ~doc:"Neither read nor write the on-disk suite cache.")
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Neither read nor write the on-disk per-simulation shards.")
   in
   let cache_clear_arg =
-    Arg.(value & flag & info [ "cache-clear" ] ~doc:"Delete all cached suites first.")
+    Arg.(value & flag & info [ "cache-clear" ] ~doc:"Delete all cache shards first.")
   in
   Cmd.v
     (Cmd.info "suite"
@@ -279,22 +269,159 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks.") Term.(const list $ const ())
 
 let analyze_cmd =
-  let analyze workload =
-    let ws =
-      if workload = "all" then Workloads.Registry.all else [ find_workload workload ]
-    in
-    List.iter
-      (fun (w : Machine.Workload.t) ->
-        Printf.printf "%s:\n" w.name;
-        List.iter
-          (fun (ar, c) ->
-            Printf.printf "  %-20s %s\n" ar.Isa.Program.name (Clear.Analysis.classification_name c))
-          (Clear.Analysis.classify_workload w.ars))
-      ws
+  let module A = Staticcheck.Absint in
+  let module P = Staticcheck.Predict in
+  let json_of_prediction (p : P.t) =
+    let module J = Report.Json in
+    let bound b = J.Str (A.bound_to_string b) in
+    let fit f = J.Str (P.fit_name f) in
+    J.Obj
+      [
+        ("ar", J.Str p.P.summary.A.name);
+        ("may_read_lines", bound p.P.summary.A.read_lines);
+        ("may_write_lines", bound p.P.summary.A.write_lines);
+        ("footprint_lines", bound p.P.summary.A.footprint_lines);
+        ("store_execs", bound p.P.summary.A.store_execs);
+        ("alt_fit", fit p.P.alt_fit);
+        ("sq_fit", fit p.P.sq_fit);
+        ("crt_fit", fit p.P.crt_fit);
+        ("lock_fit", fit p.P.lock_fit);
+        ("window_fit", fit p.P.window_fit);
+        ( "lock_groups",
+          match p.P.lock_groups with None -> J.Null | Some n -> J.Int n );
+        ("envelope", J.Str (P.envelope_name p.P.envelope));
+        ("classification", J.Str (Clear.Analysis.classification_name p.P.classification));
+        ("indirections", J.List (List.map (fun r -> J.Str r) p.P.summary.A.indirections));
+        ("must_indirect", J.Bool p.P.summary.A.must_indirect);
+      ]
   in
-  let arg = Arg.(value & opt string "all" & info [ "w"; "workload" ] ~doc:"Benchmark or 'all'.") in
-  Cmd.v (Cmd.info "analyze" ~doc:"Static AR mutability classification (Table 1).")
-    Term.(const analyze $ arg)
+  let analyze workload json =
+    let ws =
+      match workload with
+      | None -> Workloads.Registry.all
+      | Some name -> [ find_workload name ]
+    in
+    let mismatches = ref 0 in
+    let per_workload =
+      List.map
+        (fun (w : Machine.Workload.t) ->
+          let written_regions = List.concat_map Isa.Program.regions_written w.ars in
+          let dynamic = Clear.Analysis.classify_workload w.ars in
+          let predictions =
+            List.map (fun ar -> P.predict ~written_regions (A.analyze_ar ar)) w.ars
+          in
+          (* The static classification must agree with the reference
+             analysis on every AR — they share the taint transfer, so any
+             divergence is an analyzer bug worth failing loudly on. *)
+          List.iter2
+            (fun (ar, c) (p : P.t) ->
+              if p.P.classification <> c then begin
+                incr mismatches;
+                Printf.eprintf
+                  "[analyze] MISMATCH %s/%s: static %s vs Clear.Analysis %s\n%!" w.name
+                  ar.Isa.Program.name
+                  (Clear.Analysis.classification_name p.P.classification)
+                  (Clear.Analysis.classification_name c)
+              end)
+            dynamic predictions;
+          (w, predictions))
+        ws
+    in
+    if json then
+      print_endline
+        (Report.Json.to_string_pretty
+           (Report.Json.List
+              (List.map
+                 (fun ((w : Machine.Workload.t), ps) ->
+                   Report.Json.Obj
+                     [
+                       ("workload", Report.Json.Str w.name);
+                       ("ars", Report.Json.List (List.map json_of_prediction ps));
+                     ])
+                 per_workload)))
+    else
+      List.iter
+        (fun ((w : Machine.Workload.t), ps) ->
+          let t =
+            Report.Table.create ~title:(Printf.sprintf "%s: static AR analysis" w.name)
+              ~columns:
+                [ "AR"; "reads"; "writes"; "lines"; "stores"; "ALT"; "SQ"; "CRT"; "lock";
+                  "window"; "envelope"; "class" ]
+          in
+          List.iter
+            (fun (p : P.t) ->
+              let fit f = match f with P.Fits -> "fit" | P.May_overflow -> "may-ovf" in
+              Report.Table.add_row t
+                [
+                  p.P.summary.A.name;
+                  A.bound_to_string p.P.summary.A.read_lines;
+                  A.bound_to_string p.P.summary.A.write_lines;
+                  A.bound_to_string p.P.summary.A.footprint_lines;
+                  A.bound_to_string p.P.summary.A.store_execs;
+                  fit p.P.alt_fit;
+                  fit p.P.sq_fit;
+                  fit p.P.crt_fit;
+                  fit p.P.lock_fit;
+                  fit p.P.window_fit;
+                  P.envelope_name p.P.envelope;
+                  Clear.Analysis.classification_name p.P.classification;
+                ])
+            ps;
+          Report.Table.print t;
+          print_newline ())
+        per_workload;
+    if !mismatches > 0 then begin
+      Printf.eprintf "[analyze] %d classification mismatch(es)\n%!" !mismatches;
+      exit 1
+    end
+  in
+  let workload_filter =
+    Arg.(value & opt (some string) None
+         & info [ "w"; "workload" ] ~doc:"Restrict the analysis to one benchmark.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static AR verification: abstract-interpretation footprint bounds, CLEAR table \
+             fits, the sound decision envelope, and the Table-1 mutability classification \
+             (checked against the reference analysis; exits non-zero on disagreement).")
+    Term.(const analyze $ workload_filter $ json_arg)
+
+let lint_cmd =
+  let module L = Staticcheck.Lint in
+  let lint json broken_demo =
+    let diags =
+      if broken_demo then L.check_body ~name:"broken-demo" L.broken_demo
+      else
+        List.concat_map
+          (fun (w : Machine.Workload.t) ->
+            List.concat_map
+              (fun ar ->
+                List.map
+                  (fun (d : L.diag) -> { d with L.ar = w.name ^ "/" ^ d.L.ar })
+                  (L.check_ar ar))
+              w.ars)
+          Workloads.Registry.all
+    in
+    if json then print_endline (Report.Json.to_string_pretty (L.to_json diags))
+    else begin
+      List.iter (fun d -> Format.printf "%a@." L.pp_diag d) diags;
+      Printf.printf "%d finding(s), %d error(s)\n" (List.length diags) (L.errors diags)
+    end;
+    if L.errors diags > 0 then exit 1
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  let demo_arg =
+    Arg.(value & flag
+         & info [ "broken-demo" ]
+             ~doc:"Lint a deliberately broken demo body instead of the registry (exits 1).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Lint every registered AR body (unreachable code, dead writes, untagged regions, \
+             out-of-range targets, absurd offsets, possibly-zero divisors, missing Halt). \
+             Exits non-zero only on error-severity findings.")
+    Term.(const lint $ json_arg $ demo_arg)
 
 let config_cmd =
   let show letter cores ops seed retries =
@@ -306,4 +433,7 @@ let config_cmd =
 
 let () =
   let info = Cmd.info "clear_sim" ~doc:"CLEAR bounded-retry HTM simulator." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; suite_cmd; check_cmd; list_cmd; analyze_cmd; config_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; suite_cmd; check_cmd; list_cmd; analyze_cmd; lint_cmd; config_cmd ]))

@@ -2,16 +2,31 @@ type entry =
   | Commit of Witness.t
   | Driver_writes of { time : int; core : int; stores : (Mem.Addr.t * int) list }
 
+type decision = {
+  time : int;
+  core : int;
+  ar : Isa.Program.ar;
+  decision : Clear.Decision.mode;
+}
+
 type t = {
   n_cores : int;
   mutable initial : Mem.Store.image option;
   mutable rev_entries : entry list;
   mutable rev_lock_events : Lock_safety.event list;
+  mutable rev_decisions : decision list;
   mutable next_seq : int;
 }
 
 let create ~cores =
-  { n_cores = cores; initial = None; rev_entries = []; rev_lock_events = []; next_seq = 0 }
+  {
+    n_cores = cores;
+    initial = None;
+    rev_entries = [];
+    rev_lock_events = [];
+    rev_decisions = [];
+    next_seq = 0;
+  }
 
 let cores t = t.n_cores
 
@@ -40,6 +55,9 @@ let add_driver_writes t ~time ~core ~stores =
 
 let add_lock_event t ev = t.rev_lock_events <- ev :: t.rev_lock_events
 
+let add_decision t ~time ~core ~ar ~decision =
+  t.rev_decisions <- { time; core; ar; decision } :: t.rev_decisions
+
 let initial t = t.initial
 
 let entries t = List.rev t.rev_entries
@@ -48,5 +66,7 @@ let witnesses t =
   List.filter_map (function Commit w -> Some w | Driver_writes _ -> None) (entries t)
 
 let lock_events t = List.rev t.rev_lock_events
+
+let decisions t = List.rev t.rev_decisions
 
 let commit_count t = t.next_seq

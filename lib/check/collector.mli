@@ -13,6 +13,16 @@ type entry =
           operation, in program order. Replayed positionally; not part of the
           serializability check. *)
 
+type decision = {
+  time : int;
+  core : int;
+  ar : Isa.Program.ar;
+  decision : Clear.Decision.mode;
+}
+(** One end-of-discovery CLEAR assessment (paper Figure 2) the engine
+    performed; the static soundness gate asserts each lies inside the
+    statically predicted decision envelope. *)
+
 type t
 
 val create : cores:int -> t
@@ -42,6 +52,9 @@ val add_driver_writes : t -> time:int -> core:int -> stores:(Mem.Addr.t * int) l
 
 val add_lock_event : t -> Lock_safety.event -> unit
 
+val add_decision :
+  t -> time:int -> core:int -> ar:Isa.Program.ar -> decision:Clear.Decision.mode -> unit
+
 val initial : t -> Mem.Store.image option
 
 val entries : t -> entry list
@@ -51,5 +64,8 @@ val witnesses : t -> Witness.t list
 (** Just the commits, in commit order. *)
 
 val lock_events : t -> Lock_safety.event list
+
+val decisions : t -> decision list
+(** End-of-discovery decisions, in emission order. *)
 
 val commit_count : t -> int

@@ -3,12 +3,33 @@ type t = {
   serial : (unit, Serial.violation) result;
   replay : (unit, Replay.divergence) result;
   locks : (unit, Lock_safety.violation) result;
+  static_ : (unit, Staticcheck.Gate.violation) result option;
 }
 
 let ok t =
   Result.is_ok t.serial && Result.is_ok t.replay && Result.is_ok t.locks
+  && match t.static_ with None -> true | Some r -> Result.is_ok r
 
-let evaluate collector ~final =
+(* Dynamic footprint ⊆ static may-sets for every witness, and every
+   end-of-discovery decision inside the static envelope. *)
+let run_static_gate gate collector =
+  let check_witness (w : Witness.t) =
+    Staticcheck.Gate.check_commit gate ~ar:w.Witness.ar ~init_regs:w.Witness.init_regs
+      ~reads:(List.map fst w.Witness.reads)
+      ~writes:(List.map fst w.Witness.writes)
+  in
+  let check_decision (d : Collector.decision) =
+    Staticcheck.Gate.check_decision gate ~ar:d.Collector.ar ~decision:d.Collector.decision
+  in
+  let rec all f = function
+    | [] -> Ok ()
+    | x :: rest -> ( match f x with Ok () -> all f rest | Error _ as e -> e)
+  in
+  match all check_witness (Collector.witnesses collector) with
+  | Error _ as e -> e
+  | Ok () -> all check_decision (Collector.decisions collector)
+
+let evaluate ?static_gate collector ~final =
   let initial =
     match Collector.initial collector with
     | Some snap -> snap
@@ -19,6 +40,7 @@ let evaluate collector ~final =
     serial = Serial.check (Collector.witnesses collector);
     replay = Replay.run ~initial ~entries:(Collector.entries collector) ~final;
     locks = Lock_safety.check ~cores:(Collector.cores collector) (Collector.lock_events collector);
+    static_ = Option.map (fun gate -> run_static_gate gate collector) static_gate;
   }
 
 let pp_oracle fmt name pp_err = function
@@ -32,6 +54,9 @@ let pp fmt t =
   pp_oracle fmt "serializability" Serial.pp_violation t.serial;
   pp_oracle fmt "replay" Replay.pp_divergence t.replay;
   pp_oracle fmt "lock-safety" Lock_safety.pp_violation t.locks;
+  (match t.static_ with
+  | None -> ()
+  | Some r -> pp_oracle fmt "static-gate" Staticcheck.Gate.pp_violation r);
   Format.fprintf fmt "@]"
 
 let to_string t = Format.asprintf "%a" pp t

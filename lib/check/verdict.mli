@@ -1,18 +1,24 @@
-(** Combined result of the three oracles over one run. *)
+(** Combined result of the oracles over one run. *)
 
 type t = {
   commits : int;  (** witnesses checked *)
   serial : (unit, Serial.violation) result;
   replay : (unit, Replay.divergence) result;
   locks : (unit, Lock_safety.violation) result;
+  static_ : (unit, Staticcheck.Gate.violation) result option;
+      (** static-vs-dynamic soundness gate; [None] when no gate was
+          supplied to {!evaluate} *)
 }
 
 val ok : t -> bool
 
-val evaluate : Collector.t -> final:Mem.Store.image -> t
+val evaluate : ?static_gate:Staticcheck.Gate.t -> Collector.t -> final:Mem.Store.image -> t
 (** Run serializability, replay, and lock-safety over a completed run's
-    collector. Raises [Invalid_argument] if the collector never received an
-    initial snapshot (i.e. the engine was not created with it). *)
+    collector; with [static_gate], additionally assert every witness's
+    footprint lies inside the static may-sets and every end-of-discovery
+    decision inside the static envelope. Raises [Invalid_argument] if the
+    collector never received an initial snapshot (i.e. the engine was not
+    created with it). *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line report: one PASS/FAIL line per oracle, violation details on

@@ -78,12 +78,17 @@ let indirections (ar : Isa.Program.ar) =
     S.elements !collected
   end
 
-let classify ~ar ~written_regions =
-  match indirections ar with
+(* Classification from an already-computed indirection list; shared with the
+   static verifier (lib/staticcheck), whose abstract interpreter reproduces
+   [indirections] and must agree with [classify] by construction. *)
+let classify_regions ~indirections:regions ~written_regions =
+  match regions with
   | [] -> Immutable
   | regions ->
       let written = S.of_list (List.map region_name written_regions) in
       if List.exists (fun r -> S.mem r written) regions then Mutable else Likely_immutable
+
+let classify ~ar ~written_regions = classify_regions ~indirections:(indirections ar) ~written_regions
 
 let classify_workload ars =
   let written_regions = List.concat_map Isa.Program.regions_written ars in

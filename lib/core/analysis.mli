@@ -20,10 +20,23 @@ type classification = Immutable | Likely_immutable | Mutable
 
 val classification_name : classification -> string
 
+val anon_region : string
+(** ["<anon>"], the normalised tag of untagged loads and stores. *)
+
+val region_name : string -> string
+(** Identity on non-empty tags; [anon_region] for [""]. *)
+
 val indirections : Isa.Program.ar -> string list
 (** Region tags of loads whose results reach an address computation or
     branch. Empty when the footprint is statically immutable. Untagged loads
     report as ["<anon>"]. *)
+
+val classify_regions :
+  indirections:string list -> written_regions:string list -> classification
+(** Classification from a precomputed indirection list (as returned by
+    {!indirections}); [classify] is [classify_regions] over the taint
+    analysis, and the static verifier feeds it the abstract-interpretation
+    equivalent. *)
 
 val classify : ar:Isa.Program.ar -> written_regions:string list -> classification
 

@@ -50,8 +50,12 @@ let config_of_letter opts letter =
    [Simrt.Pool.parallel_map] preserves input order and every simulation is
    self-contained (own store/hierarchy/stats, explicit seeding), so the
    aggregation below walks the same nested cross-product in the same order
-   regardless of [jobs] — results are bit-identical to the sequential run. *)
-let run_suite ?(jobs = 1) ?(check = false) ?(workloads = Workloads.Registry.all)
+   regardless of [jobs] — results are bit-identical to the sequential run.
+
+   With [~cache:true] each simulation is memoised on disk as one
+   [Suite_cache] shard; hits are spliced back in task order, so a partially
+   cached sweep still aggregates identically to an uncached one. *)
+let run_suite ?(jobs = 1) ?(check = false) ?(cache = false) ?(workloads = Workloads.Registry.all)
     ?(progress = fun _ -> ()) opts =
   let tasks =
     List.concat_map
@@ -64,7 +68,39 @@ let run_suite ?(jobs = 1) ?(check = false) ?(workloads = Workloads.Registry.all)
           (presets opts))
       workloads
   in
-  let results = Array.of_list (Simrt.Pool.parallel_map ~jobs (Run.runner ~check) tasks) in
+  let run_all tasks = Simrt.Pool.parallel_map ~jobs (Run.runner ~check) tasks in
+  let results =
+    if not cache then Array.of_list (run_all tasks)
+    else begin
+      Suite_cache.prune_stale ();
+      let load (s : Run.sim) =
+        Suite_cache.load_shard s.Run.cfg ~workload:s.Run.workload.Machine.Workload.name
+          ~seed:s.Run.seed
+      in
+      let tagged = List.map (fun t -> (t, load t)) tasks in
+      let misses = List.filter_map (fun (t, c) -> if Option.is_none c then Some t else None) tagged in
+      let hits = List.length tasks - List.length misses in
+      if hits > 0 then
+        progress (Printf.sprintf "cache: %d/%d shard(s) hit" hits (List.length tasks));
+      let fresh = run_all misses in
+      List.iter2
+        (fun (s : Run.sim) stats ->
+          Suite_cache.save_shard s.Run.cfg ~workload:s.Run.workload.Machine.Workload.name
+            ~seed:s.Run.seed stats)
+        misses fresh;
+      let remaining = ref fresh in
+      Array.of_list
+        (List.map
+           (fun (_, c) ->
+             match (c, !remaining) with
+             | Some s, _ -> s
+             | None, s :: tl ->
+                 remaining := tl;
+                 s
+             | None, [] -> assert false)
+           tagged)
+    end
+  in
   let per_seed = List.length opts.seeds in
   let next = ref 0 in
   let take () =

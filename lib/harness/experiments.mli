@@ -31,6 +31,7 @@ type suite = {
 val run_suite :
   ?jobs:int ->
   ?check:bool ->
+  ?cache:bool ->
   ?workloads:Machine.Workload.t list ->
   ?progress:(string -> unit) ->
   options ->
@@ -41,7 +42,12 @@ val run_suite :
     and explicitly seeded, and aggregation order does not depend on [jobs].
     With [~check:true] every simulation in the sweep is validated by the
     execution oracle inside the worker; the first violation raises
-    {!Run.Check_failed}. *)
+    {!Run.Check_failed}. With [~cache:true] each simulation is memoised on
+    disk as one {!Suite_cache} shard keyed by (config, workload, seed) and
+    the executable digest; only missing shards are simulated, and hits are
+    spliced back in task order so partially cached sweeps aggregate
+    bit-identically. Callers that validate with the oracle should not also
+    pass [~cache:true] — a shard hit would skip validation. *)
 
 val config_of_letter : options -> string -> Machine.Config.t
 

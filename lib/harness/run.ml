@@ -27,13 +27,22 @@ let run_sim { cfg; workload; seed } =
 
 exception Check_failed of string
 
+(* The static verifier's view of the run's table geometry; every checked
+   simulation also asserts dynamic-footprint ⊆ static-may-set and
+   dynamic-decision ∈ static-envelope (DESIGN.md §10). *)
+let static_gate_of_config (cfg : Machine.Config.t) =
+  Staticcheck.Gate.create
+    (Staticcheck.Predict.params_of ~alt_capacity:cfg.Machine.Config.alt_capacity
+       ~sq_entries:cfg.sq_entries ~rob_entries:cfg.rob_entries ~crt_entries:cfg.crt_entries
+       ~crt_ways:cfg.crt_ways cfg.mem_params)
+
 let run_sim_checked { cfg; workload; seed } =
   let cfg = Machine.Config.with_seed cfg seed in
   let collector = Check.Collector.create ~cores:cfg.Machine.Config.cores in
   let engine = Machine.Engine.create ~check:collector cfg workload in
   let stats = Machine.Engine.run engine in
   let final = Mem.Store.snapshot (Machine.Engine.store engine) in
-  (stats, Check.Verdict.evaluate collector ~final)
+  (stats, Check.Verdict.evaluate ~static_gate:(static_gate_of_config cfg) collector ~final)
 
 (* Pool-friendly variant: same signature as [run_sim], turns a failed verdict
    into an exception (which [Simrt.Pool.parallel_map] propagates to the

@@ -47,10 +47,14 @@ exception Check_failed of string
 (** Raised by checked runs when an oracle fails; the payload identifies the
     (workload, preset, seed) triple and contains the full verdict report. *)
 
+val static_gate_of_config : Machine.Config.t -> Staticcheck.Gate.t
+(** A static soundness gate matching the configuration's table geometry
+    (ALT/SQ/ROB/CRT sizes and cache parameters). *)
+
 val run_sim_checked : sim -> Machine.Stats.t * Check.Verdict.t
-(** Run one simulation with witness capture and evaluate all three oracles
-    (serializability, sequential replay, lock safety) on the result. The
-    stats are bit-identical to {!run_sim}'s. *)
+(** Run one simulation with witness capture and evaluate all four oracles
+    (serializability, sequential replay, lock safety, static soundness
+    gate) on the result. The stats are bit-identical to {!run_sim}'s. *)
 
 val run_sim_enforce : sim -> Machine.Stats.t
 (** Like {!run_sim} but raises {!Check_failed} unless the verdict is clean.

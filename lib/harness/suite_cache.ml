@@ -4,34 +4,40 @@ let build_id_lazy = lazy (Digest.to_hex (Digest.file Sys.executable_name))
 
 let build_id () = Lazy.force build_id_lazy
 
-let path (opts : Experiments.options) ~workload_names =
+(* One shard per (configuration, workload, seed) simulation. The digest
+   covers the fully seeded configuration (so any parameter change misses),
+   the workload name, the seed, and the executable's own digest. *)
+let shard_path (cfg : Machine.Config.t) ~workload ~seed =
+  let cfg = Machine.Config.with_seed cfg seed in
   let key =
-    Digest.to_hex (Digest.string (Marshal.to_string (opts, workload_names, build_id ()) []))
+    Digest.to_hex (Digest.string (Marshal.to_string (cfg, workload, seed, build_id ()) []))
   in
-  Filename.concat dir ("suite-" ^ key ^ ".bin")
+  Filename.concat dir ("shard-" ^ key ^ ".bin")
 
 (* The first Marshal item is a plain string, so it deserialises safely even
    when the rest of the file was written by a different build of the
-   executable (whose in-memory representation of [suite] may differ). *)
+   executable (whose in-memory representation of [Stats.t] may differ). *)
 let read_build_id path =
   match In_channel.with_open_bin path (fun ic -> (Marshal.from_channel ic : string)) with
   | id -> Some id
   | exception _ -> None
 
-let load path : Experiments.suite option =
+let load_shard cfg ~workload ~seed : Machine.Stats.t option =
+  let path = shard_path cfg ~workload ~seed in
   if not (Sys.file_exists path) then None
   else
     match
       In_channel.with_open_bin path (fun ic ->
           let id : string = Marshal.from_channel ic in
-          if id <> build_id () then None else Some (Marshal.from_channel ic : Experiments.suite))
+          if id <> build_id () then None else Some (Marshal.from_channel ic : Machine.Stats.t))
     with
     | s -> s
     | exception _ -> None
 
-let is_suite_entry name =
-  String.length name > String.length "suite-"
-  && String.sub name 0 6 = "suite-"
+let is_cache_entry name =
+  (let is_prefix p = String.length name > String.length p && String.sub name 0 (String.length p) = p in
+   (* legacy whole-suite entries are cleaned up alongside shards *)
+   is_prefix "shard-" || is_prefix "suite-")
   && Filename.check_suffix name ".bin"
 
 let prune_stale () =
@@ -40,7 +46,7 @@ let prune_stale () =
   | names ->
       Array.iter
         (fun name ->
-          if is_suite_entry name then begin
+          if is_cache_entry name then begin
             let p = Filename.concat dir name in
             match read_build_id p with
             | Some id when id = build_id () -> ()
@@ -48,14 +54,14 @@ let prune_stale () =
           end)
         names
 
-let save path (s : Experiments.suite) =
+let save_shard cfg ~workload ~seed (s : Machine.Stats.t) =
   (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let path = shard_path cfg ~workload ~seed in
   let tmp = path ^ ".tmp" in
   Out_channel.with_open_bin tmp (fun oc ->
       Marshal.to_channel oc (build_id ()) [];
       Marshal.to_channel oc s []);
-  Sys.rename tmp path;
-  prune_stale ()
+  Sys.rename tmp path
 
 let clear () =
   match Sys.readdir dir with
@@ -63,7 +69,7 @@ let clear () =
   | names ->
       Array.fold_left
         (fun n name ->
-          if is_suite_entry name then (
+          if is_cache_entry name then (
             match Sys.remove (Filename.concat dir name) with
             | () -> n + 1
             | exception Sys_error _ -> n)

@@ -1,12 +1,18 @@
-(** On-disk memoisation of suite sweeps.
+(** On-disk memoisation of suite sweeps, sharded per simulation.
 
-    A cached suite lives at [_cache/suite-<digest>.bin] where the digest
-    covers the sweep options, the workload list and the executable's own
-    digest — any rebuild or parameter change misses. Entries are written as
-    two Marshal items: the build id (a plain string, safe to read back from
-    any build) followed by the suite. The embedded id lets {!save} prune
-    entries left behind by previous builds, so the directory never
-    accumulates unloadable files. *)
+    One shard lives at [_cache/shard-<digest>.bin] per (configuration,
+    workload, seed) simulation; the digest covers the fully seeded
+    configuration, the workload name, the seed and the executable's own
+    digest — any rebuild or parameter change misses, and editing one
+    workload only invalidates that workload's shards (the digest of every
+    other (config, workload, seed) triple is unchanged once the rebuilt
+    executable writes them afresh; ROADMAP "sharded suite cache").
+
+    Entries are written as two Marshal items: the build id (a plain string,
+    safe to read back from any build) followed by the {!Machine.Stats.t}.
+    {!prune_stale} deletes entries left behind by previous builds, so the
+    directory never accumulates unloadable files; legacy whole-suite
+    [suite-*.bin] entries are cleaned up by the same sweep. *)
 
 val dir : string
 (** ["_cache"], relative to the working directory. *)
@@ -14,16 +20,20 @@ val dir : string
 val build_id : unit -> string
 (** Hex digest of the running executable; memoised. *)
 
-val path : Experiments.options -> workload_names:string list -> string
-(** Cache-file path for one sweep. *)
+val shard_path : Machine.Config.t -> workload:string -> seed:int -> string
+(** Shard path for one simulation ([seed] is applied to the configuration
+    before digesting, so callers may pass the unseeded sweep config). *)
 
-val load : string -> Experiments.suite option
-(** [None] when the file is missing, unreadable, or written by a different
+val load_shard : Machine.Config.t -> workload:string -> seed:int -> Machine.Stats.t option
+(** [None] when the shard is missing, unreadable, or written by a different
     build. *)
 
-val save : string -> Experiments.suite -> unit
-(** Atomic write (temp file + rename), then prune every [suite-*.bin] in
-    {!dir} whose embedded build id differs from the current executable's. *)
+val save_shard : Machine.Config.t -> workload:string -> seed:int -> Machine.Stats.t -> unit
+(** Atomic write (temp file + rename). *)
+
+val prune_stale : unit -> unit
+(** Delete every cache entry whose embedded build id differs from the
+    current executable's. *)
 
 val clear : unit -> int
-(** Delete every [suite-*.bin] in {!dir}; returns how many were removed. *)
+(** Delete every cache entry in {!dir}; returns how many were removed. *)

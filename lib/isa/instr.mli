@@ -51,5 +51,5 @@ val is_mem : t -> bool
 val pp : Format.formatter -> t -> unit
 
 val validate : t array -> (unit, string) result
-(** Check register indices and branch targets are in range and the body ends
-    in (or contains) [Halt]. *)
+(** Check register indices and control-flow targets — both [Br] and [Jmp] —
+    are in range and the body contains [Halt]. *)

@@ -425,8 +425,13 @@ let end_of_discovery_decision t c =
       if not immutable then Clear.Ert.mark_not_immutable e
   | None -> ());
   let assessment = { Clear.Decision.fits_window = fits; lockable; immutable } in
+  let decision = Clear.Decision.decide assessment in
+  (match t.check with
+  | Some col ->
+      Check.Collector.add_decision col ~time:t.now ~core:c.id ~ar:op.Workload.ar ~decision
+  | None -> ());
   c.planned <-
-    (match Clear.Decision.decide assessment with
+    (match decision with
     | Clear.Decision.Speculative_retry -> None
     | (Clear.Decision.Ns_cl | Clear.Decision.S_cl) as m -> Some m);
   match c.planned with

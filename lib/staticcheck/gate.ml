@@ -1,0 +1,106 @@
+type violation =
+  | Footprint_escape of {
+      ar : string;
+      access : [ `Read | `Write ];
+      line : Mem.Addr.line;
+      bound : string;
+    }
+  | Decision_escape of { ar : string; decision : Clear.Decision.mode; envelope : string }
+
+type t = {
+  params : Predict.params;
+  fault_drop_store : bool;
+  summaries : (int * string, Absint.summary) Hashtbl.t;
+  predictions : (int * string, Predict.t) Hashtbl.t;
+}
+
+let create ?(fault_drop_store = false) params =
+  { params; fault_drop_store; summaries = Hashtbl.create 8; predictions = Hashtbl.create 8 }
+
+let key (ar : Isa.Program.ar) = (ar.Isa.Program.id, ar.Isa.Program.name)
+
+let summary t ar =
+  match Hashtbl.find_opt t.summaries (key ar) with
+  | Some s -> s
+  | None ->
+      let s = Absint.analyze_ar ar in
+      let s =
+        if not t.fault_drop_store then s
+        else begin
+          (* Fault injection for the gate's own tests: pretend the analyzer
+             missed the first store site, so a real write escapes the
+             may-write set and the gate must catch it. *)
+          let dropped = ref false in
+          let sites =
+            List.filter
+              (fun (site : Absint.site) ->
+                if site.Absint.written && not !dropped then begin
+                  dropped := true;
+                  false
+                end
+                else true)
+              s.Absint.sites
+          in
+          { s with Absint.sites }
+        end
+      in
+      Hashtbl.add t.summaries (key ar) s;
+      s
+
+let prediction t ar =
+  match Hashtbl.find_opt t.predictions (key ar) with
+  | Some p -> p
+  | None ->
+      let p = Predict.predict ~params:t.params ~written_regions:[] (summary t ar) in
+      Hashtbl.add t.predictions (key ar) p;
+      p
+
+let check_commit t ~(ar : Isa.Program.ar) ~init_regs ~reads ~writes =
+  let s = summary t ar in
+  let init r = Option.value (List.assoc_opt r init_regs) ~default:0 in
+  let reads_set = List.filter (fun (site : Absint.site) -> not site.Absint.written) s.Absint.sites
+  and writes_set = List.filter (fun (site : Absint.site) -> site.Absint.written) s.Absint.sites in
+  let escape access sites line =
+    Footprint_escape
+      {
+        ar = ar.Isa.Program.name;
+        access;
+        line;
+        bound =
+          Printf.sprintf "%d site(s), %s line bound" (List.length sites)
+            (Absint.bound_to_string
+               (if access = `Read then s.Absint.read_lines else s.Absint.write_lines));
+      }
+  in
+  let rec first_escape access sites = function
+    | [] -> Ok ()
+    | line :: rest ->
+        if Absint.line_in_sites ~init sites line then first_escape access sites rest
+        else Error (escape access sites line)
+  in
+  match first_escape `Read reads_set reads with
+  | Error _ as e -> e
+  | Ok () -> first_escape `Write writes_set writes
+
+let check_decision t ~(ar : Isa.Program.ar) ~decision =
+  let p = prediction t ar in
+  if Predict.decision_in_envelope p.Predict.envelope decision then Ok ()
+  else
+    Error
+      (Decision_escape
+         {
+           ar = ar.Isa.Program.name;
+           decision;
+           envelope = Predict.envelope_name p.Predict.envelope;
+         })
+
+let pp_violation ppf = function
+  | Footprint_escape { ar; access; line; bound } ->
+      Format.fprintf ppf "AR %s: dynamic %s of line %d escapes the static may-%s set (%s)" ar
+        (match access with `Read -> "read" | `Write -> "write")
+        line
+        (match access with `Read -> "read" | `Write -> "write")
+        bound
+  | Decision_escape { ar; decision; envelope } ->
+      Format.fprintf ppf "AR %s: dynamic decision %s outside the static envelope %s" ar
+        (Clear.Decision.mode_name decision) envelope

@@ -1,0 +1,43 @@
+(** Static-vs-dynamic soundness gate.
+
+    Created once per checked run from the run's configuration, then fed
+    every commit witness and every end-of-discovery decision the engine
+    emitted ({!Check.Verdict} drives this). A violation means the abstract
+    interpreter under-approximated a real execution — a bug in either the
+    analyzer or the engine — and is reported as its own verdict class. *)
+
+type violation =
+  | Footprint_escape of {
+      ar : string;
+      access : [ `Read | `Write ];
+      line : Mem.Addr.line;
+      bound : string;  (** human-readable description of the violated bound *)
+    }
+  | Decision_escape of { ar : string; decision : Clear.Decision.mode; envelope : string }
+
+type t
+
+val create : ?fault_drop_store:bool -> Predict.params -> t
+(** [fault_drop_store] injects an analyzer bug (the first store site of
+    every AR is dropped from the may-write set) so tests can prove the gate
+    actually fires. *)
+
+val summary : t -> Isa.Program.ar -> Absint.summary
+(** Memoised per (ar id, name). *)
+
+val prediction : t -> Isa.Program.ar -> Predict.t
+
+val check_commit :
+  t ->
+  ar:Isa.Program.ar ->
+  init_regs:(Isa.Instr.reg * int) list ->
+  reads:Mem.Addr.line list ->
+  writes:Mem.Addr.line list ->
+  (unit, violation) result
+(** Dynamic footprint ⊆ static may-sets, concretised under the witness's
+    initial registers (absent registers default to 0, as in the engine). *)
+
+val check_decision :
+  t -> ar:Isa.Program.ar -> decision:Clear.Decision.mode -> (unit, violation) result
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,124 @@
+module I = Isa.Instr
+
+type severity = Error | Warning | Info
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type diag = {
+  severity : severity;
+  ar : string;
+  index : int option;
+  code : string;
+  message : string;
+}
+
+let errors ds = List.length (List.filter (fun d -> d.severity = Error) ds)
+
+let absurd_offset = 1 lsl 20
+
+let check_body ?(name = "<raw>") (body : I.t array) =
+  let n = Array.length body in
+  let s = Absint.analyze ~name body in
+  let diags = ref [] in
+  let add severity index code message = diags := { severity; ar = name; index; code; message } :: !diags in
+  (* Registers read anywhere in the body (as any source operand). *)
+  let used = Array.make I.num_regs false in
+  let use = function I.Reg r -> used.(r) <- true | I.Imm _ -> () in
+  Array.iter
+    (fun instr ->
+      match (instr : I.t) with
+      | I.Ld { base; _ } -> use base
+      | I.St { base; src; _ } -> use base; use src
+      | I.Mov { src; _ } -> use src
+      | I.Binop { a; b; _ } -> use a; use b
+      | I.Br { a; b; _ } -> use a; use b
+      | I.Jmp _ | I.Nop | I.Halt -> ())
+    body;
+  if n = 0 then add Error None "missing-halt" "body is empty";
+  Array.iteri
+    (fun i instr ->
+      let here = Some i in
+      (match (instr : I.t) with
+      | I.Br { target; _ } when target < 0 || target >= n ->
+          add Error here "target-range" (Printf.sprintf "branch target %d out of range [0,%d)" target n)
+      | I.Jmp target when target < 0 || target >= n ->
+          add Error here "target-range" (Printf.sprintf "jump target %d out of range [0,%d)" target n)
+      | _ -> ());
+      (match (instr : I.t) with
+      | I.Ld { off; region; _ } | I.St { off; region; _ } ->
+          if abs off >= absurd_offset then
+            add Error here "absurd-offset" (Printf.sprintf "offset %d exceeds any region size" off)
+          else if off < 0 then
+            add Warning here "negative-offset"
+              (Printf.sprintf "negative offset %d (regions are addressed upward from their base)" off);
+          if region = "" then
+            add Warning here "untagged-region"
+              "load/store has no region tag; the mutability analysis will report it as <anon>"
+      | _ -> ());
+      (match (instr : I.t) with
+      | I.Binop { op = I.Div | I.Rem; b; _ } when s.Absint.reachable.(i) -> (
+          match b with
+          | I.Imm 0 -> add Error here "div-zero" "divisor is the constant 0 (evaluates to 0)"
+          | I.Imm _ -> ()
+          | I.Reg r -> (
+              let v = s.Absint.in_states.(i).(r) in
+              match v.Value.shape with
+              | Value.Const when v.Value.lo > 0 || v.Value.hi < 0 -> ()
+              | Value.Const when v.Value.lo = 0 && v.Value.hi = 0 ->
+                  add Error here "div-zero" "divisor is always 0 (evaluates to 0)"
+              | Value.Const ->
+                  add Warning here "div-zero" "divisor interval contains 0 (division then yields 0)"
+              | _ ->
+                  add Info here "div-zero"
+                    "divisor is not statically non-zero (driver-provided register?)"))
+      | _ -> ());
+      if not s.Absint.reachable.(i) then add Warning here "unreachable" "instruction can never execute"
+      else
+        match (instr : I.t) with
+        | I.Mov { dst; _ } | I.Binop { dst; _ } ->
+            if not used.(dst) then
+              add Warning here "dead-write"
+                (Printf.sprintf "r%d is written here but never read anywhere in the body" dst)
+        | _ -> ())
+    body;
+  if n > 0 && s.Absint.falls_off_end then
+    add Error None "missing-halt" "a reachable path runs past the last instruction without Halt";
+  if
+    n > 0
+    && (not s.Absint.falls_off_end)
+    && not (Array.exists2 (fun r instr -> r && instr = I.Halt) s.Absint.reachable body)
+  then add Error None "missing-halt" "no Halt instruction is reachable";
+  List.rev !diags
+
+let check_ar (ar : Isa.Program.ar) = check_body ~name:ar.Isa.Program.name ar.Isa.Program.body
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s: %s%s: %s: %s" (severity_name d.severity) d.ar
+    (match d.index with Some i -> Printf.sprintf " @%d" i | None -> "")
+    d.code d.message
+
+let to_json ds =
+  Report.Json.List
+    (List.map
+       (fun d ->
+         Report.Json.Obj
+           [
+             ("severity", Report.Json.Str (severity_name d.severity));
+             ("ar", Report.Json.Str d.ar);
+             ("instr", match d.index with Some i -> Report.Json.Int i | None -> Report.Json.Null);
+             ("code", Report.Json.Str d.code);
+             ("message", Report.Json.Str d.message);
+           ])
+       ds)
+
+(* A deliberately broken body exercising every error-severity diagnostic;
+   [clear_sim lint --broken-demo] lints it to show the tool failing. *)
+let broken_demo : I.t array =
+  [|
+    I.Mov { dst = 1; src = I.Imm 3 } (* dead write: r1 never read *);
+    I.Ld { dst = 2; base = I.Imm 64; off = -4; region = "" };
+    I.Binop { op = I.Div; dst = 3; a = I.Reg 2; b = I.Imm 0 };
+    I.St { base = I.Reg 3; off = 1 lsl 21; src = I.Imm 7; region = "scratch" };
+    I.Br { cond = I.Eq; a = I.Reg 3; b = I.Imm 0; target = 99 };
+    I.Nop (* falls off the end: no Halt *);
+  |]

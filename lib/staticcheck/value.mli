@@ -1,0 +1,67 @@
+(** Abstract value domain for the static AR verifier (DESIGN.md §10).
+
+    A value is a shape — bottom, constant, initial-register-plus-offset, or
+    top — with an interval of offsets and a taint set of region tags. The
+    taint component mirrors {!Clear.Analysis} exactly: loads produce [Top]
+    tainted with the load's region, taint unions through ALU ops, and [Mov]
+    from an immediate clears it. Interval bounds saturate at the [inf]
+    sentinels, which mean "unbounded on that side" (not a numeric bound). *)
+
+module S : Set.S with type elt = string
+
+val inf : int
+(** Positive-unbounded sentinel (2{^50}); [neg_inf] is its negation. Every
+    stored finite bound is strictly smaller in magnitude. *)
+
+val neg_inf : int
+
+type shape = Bot | Const | Init of Isa.Instr.reg | Top
+
+type t = private { shape : shape; lo : int; hi : int; taint : S.t }
+
+val bot : t
+
+val top : S.t -> t
+
+val make : shape -> int -> int -> S.t -> t
+(** Normalising constructor: [Const]/[Init] unbounded on both sides
+    collapses to [Top]. *)
+
+val const_ : int -> S.t -> t
+
+val init_ : Isa.Instr.reg -> S.t -> t
+(** The value register [r] holds on entry. *)
+
+val is_bot : t -> bool
+
+val is_finite : t -> bool
+(** True when the shape carries an interval and both bounds are finite. *)
+
+val singleton : t -> int option
+
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+
+val widen : prev:t -> next:t -> t
+(** [next] must be [join prev x] for some [x]; still-growing bounds jump to
+    the sentinels so fixpoint chains are finite. *)
+
+val with_taint : t -> S.t -> t
+
+val binop : Isa.Instr.binop -> t -> t -> t
+(** Sound transfer of {!Isa.Instr.eval_binop}; falls back to exact
+    evaluation on finite singletons, [Top] otherwise. *)
+
+val refine : Isa.Instr.cond -> t -> t -> t * t
+(** Narrow both operands under the assumption the condition holds. Never
+    empties an interval (an infeasible refinement returns the operands
+    unchanged), so reachability stays identical to {!Clear.Analysis}. *)
+
+val negate_cond : Isa.Instr.cond -> Isa.Instr.cond
+
+val mem : init:(Isa.Instr.reg -> int) -> t -> int -> bool
+(** Concretisation membership: does concrete value [x] lie in [v] when the
+    initial registers are given by [init]? *)
+
+val pp : Format.formatter -> t -> unit

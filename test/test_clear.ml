@@ -357,6 +357,81 @@ let test_analysis_workload_counts () =
       Alcotest.(check (triple int int int)) name (im, li, mu) got)
     expected
 
+let test_analysis_untagged_indirection () =
+  (* an untagged load feeding an address reports as <anon>; an untagged
+     store elsewhere in the workload then makes the AR mutable *)
+  let ar =
+    build "anon" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ();
+        A.ld b ~dst:9 ~base:(I.Reg 8) ~region:"rec" ();
+        A.st b ~base:(I.Reg 1) ~src:(I.Reg 9) ~region:"rec" ();
+        A.halt b)
+  in
+  Alcotest.(check (list string)) "anon indirection" [ Analysis.anon_region ]
+    (Analysis.indirections ar);
+  Alcotest.(check string) "likely when anon never written" "likely immutable"
+    (Analysis.classification_name (Analysis.classify ~ar ~written_regions:[ "rec" ]));
+  Alcotest.(check string) "mutable when some AR stores untagged" "mutable"
+    (Analysis.classification_name
+       (Analysis.classify ~ar ~written_regions:[ "rec"; Analysis.anon_region ]))
+
+let test_analysis_taint_every_binop () =
+  (* taint must propagate through all twelve ALU operations, via either
+     operand position *)
+  List.iter
+    (fun op ->
+      List.iter
+        (fun tainted_first ->
+          let ar =
+            build "binop" (fun b ->
+                A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"src" ();
+                (if tainted_first then A.binop b op ~dst:9 (I.Reg 8) (I.Imm 3)
+                 else A.binop b op ~dst:9 (I.Imm 3) (I.Reg 8));
+                A.ld b ~dst:10 ~base:(I.Reg 9) ~region:"tgt" ();
+                A.st b ~base:(I.Reg 1) ~src:(I.Reg 10) ~region:"out" ();
+                A.halt b)
+          in
+          Alcotest.(check (list string)) "binop propagates taint" [ "src" ]
+            (Analysis.indirections ar))
+        [ true; false ])
+    [ I.Add; I.Sub; I.Mul; I.Div; I.Rem; I.And; I.Or; I.Xor; I.Shl; I.Shr; I.Min; I.Max ]
+
+let test_analysis_mov_imm_clears_taint () =
+  (* overwriting a tainted register with an immediate kills the taint, so
+     the later address use is not an indirection *)
+  let ar =
+    build "movclear" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"src" ();
+        A.mov b ~dst:8 (I.Imm 64);
+        A.ld b ~dst:9 ~base:(I.Reg 8) ~region:"tgt" ();
+        A.st b ~base:(I.Reg 1) ~src:(I.Reg 9) ~region:"out" ();
+        A.halt b)
+  in
+  Alcotest.(check (list string)) "taint cleared" [] (Analysis.indirections ar)
+
+let test_analysis_cross_ar_mutability () =
+  (* the reader indirects through "dir" but never writes it; the writer AR
+     does, so classify_workload demotes the reader to mutable *)
+  let reader =
+    build "reader" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"dir" ();
+        A.ld b ~dst:9 ~base:(I.Reg 8) ~region:"rec" ();
+        A.st b ~base:(I.Reg 8) ~src:(I.Reg 9) ~region:"rec" ();
+        A.halt b)
+  in
+  let writer =
+    P.build_ar ~id:1 ~name:"writer" (fun b ->
+        A.st b ~base:(I.Reg 0) ~src:(I.Imm 7) ~region:"dir" ();
+        A.halt b)
+  in
+  let reader_class ars =
+    match List.assq_opt reader (Analysis.classify_workload ars) with
+    | Some c -> Analysis.classification_name c
+    | None -> Alcotest.fail "reader missing from classification"
+  in
+  Alcotest.(check string) "alone: likely immutable" "likely immutable" (reader_class [ reader ]);
+  Alcotest.(check string) "with writer: mutable" "mutable" (reader_class [ reader; writer ])
+
 (* ------------------------------------------------------------------ *)
 (* Storage accounting *)
 
@@ -420,6 +495,11 @@ let () =
           Alcotest.test_case "loop fixpoint" `Quick test_analysis_loop_fixpoint;
           Alcotest.test_case "data-only load" `Quick test_analysis_data_only_load;
           Alcotest.test_case "workload table 1" `Quick test_analysis_workload_counts;
+          Alcotest.test_case "untagged indirection" `Quick test_analysis_untagged_indirection;
+          Alcotest.test_case "taint through every binop" `Quick test_analysis_taint_every_binop;
+          Alcotest.test_case "Mov Imm clears taint" `Quick test_analysis_mov_imm_clears_taint;
+          Alcotest.test_case "mutable via another AR's writes" `Quick
+            test_analysis_cross_ar_mutability;
         ] );
       ( "storage",
         [

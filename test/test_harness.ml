@@ -138,6 +138,72 @@ let test_table2_mentions_htm () =
   Alcotest.(check bool) "mentions HTM" true (contains str "HTM");
   Alcotest.(check bool) "mentions MESI" true (contains str "MESI")
 
+(* ------------------------------------------------------------------ *)
+(* Per-simulation shard cache *)
+
+module Suite_cache = Clear_repro.Suite_cache
+
+let test_shard_roundtrip () =
+  ignore (Suite_cache.clear ());
+  let cfg = Experiments.config_of_letter micro_options "C" in
+  let w = Workloads.Arrayswap.workload in
+  let name = w.Machine.Workload.name in
+  let stats = Run.run_sim { Run.cfg; workload = w; seed = 9 } in
+  Alcotest.(check bool) "miss before save" true
+    (Suite_cache.load_shard cfg ~workload:name ~seed:9 = None);
+  Suite_cache.save_shard cfg ~workload:name ~seed:9 stats;
+  (match Suite_cache.load_shard cfg ~workload:name ~seed:9 with
+  | None -> Alcotest.fail "hit expected after save"
+  | Some s ->
+      Alcotest.(check int) "cycles preserved" (Machine.Stats.total_cycles stats)
+        (Machine.Stats.total_cycles s);
+      Alcotest.(check int) "commits preserved" (Machine.Stats.commits stats)
+        (Machine.Stats.commits s));
+  (* the key is the full (config, workload, seed) triple *)
+  Alcotest.(check bool) "other seed misses" true
+    (Suite_cache.load_shard cfg ~workload:name ~seed:10 = None);
+  Alcotest.(check bool) "other workload misses" true
+    (Suite_cache.load_shard cfg ~workload:"other" ~seed:9 = None);
+  Alcotest.(check bool) "other config misses" true
+    (Suite_cache.load_shard
+       (Experiments.config_of_letter micro_options "B")
+       ~workload:name ~seed:9
+    = None);
+  Alcotest.(check bool) "clear removes it" true (Suite_cache.clear () >= 1);
+  Alcotest.(check bool) "miss after clear" true
+    (Suite_cache.load_shard cfg ~workload:name ~seed:9 = None)
+
+let test_shard_prune_stale () =
+  ignore (Suite_cache.clear ());
+  let cfg = Experiments.config_of_letter micro_options "B" in
+  let w = Workloads.Arrayswap.workload in
+  let name = w.Machine.Workload.name in
+  Suite_cache.save_shard cfg ~workload:name ~seed:4 (Run.run_sim { Run.cfg; workload = w; seed = 4 });
+  let stale = Filename.concat Suite_cache.dir "shard-deadbeef.bin" in
+  Out_channel.with_open_bin stale (fun oc -> Marshal.to_channel oc "not-this-build" []);
+  Suite_cache.prune_stale ();
+  Alcotest.(check bool) "stale entry removed" false (Sys.file_exists stale);
+  Alcotest.(check bool) "fresh shard kept" true
+    (Suite_cache.load_shard cfg ~workload:name ~seed:4 <> None);
+  ignore (Suite_cache.clear ())
+
+let test_suite_cached_identical () =
+  ignore (Suite_cache.clear ());
+  let messages = ref [] in
+  let progress m = messages := m :: !messages in
+  let s1 = Experiments.run_suite ~cache:true ~workloads:micro_workloads ~progress micro_options in
+  let s2 = Experiments.run_suite ~cache:true ~workloads:micro_workloads ~progress micro_options in
+  Alcotest.(check bool) "second sweep hit the cache" true
+    (List.exists (fun m -> contains m "shard(s) hit") !messages);
+  Alcotest.(check string) "warm sweep identical"
+    (Table.to_string (Experiments.fig8 s1))
+    (Table.to_string (Experiments.fig8 s2));
+  let s3 = Experiments.run_suite ~workloads:micro_workloads micro_options in
+  Alcotest.(check string) "identical to uncached sweep"
+    (Table.to_string (Experiments.fig8 s1))
+    (Table.to_string (Experiments.fig8 s3));
+  ignore (Suite_cache.clear ())
+
 let () =
   Alcotest.run "harness"
     [
@@ -160,5 +226,11 @@ let () =
           Alcotest.test_case "fig8 normalised" `Slow test_fig8_baseline_normalised_to_one;
           Alcotest.test_case "table1 rows" `Quick test_table1_rows;
           Alcotest.test_case "table2 content" `Quick test_table2_mentions_htm;
+        ] );
+      ( "shard cache",
+        [
+          Alcotest.test_case "roundtrip + keying" `Quick test_shard_roundtrip;
+          Alcotest.test_case "prune stale" `Quick test_shard_prune_stale;
+          Alcotest.test_case "cached suite identical" `Slow test_suite_cached_identical;
         ] );
     ]

@@ -49,7 +49,15 @@ let test_validate () =
     (I.validate [| I.Mov { dst = 99; src = I.Imm 0 }; I.Halt |]);
   Alcotest.check ok "bad target"
     (Error "instruction 0: branch target out of range")
-    (I.validate [| I.Br { cond = I.Eq; a = I.Imm 0; b = I.Imm 0; target = 5 }; I.Halt |])
+    (I.validate [| I.Br { cond = I.Eq; a = I.Imm 0; b = I.Imm 0; target = 5 }; I.Halt |]);
+  (* unconditional jumps are range-checked exactly like branches *)
+  Alcotest.check ok "bad jmp target"
+    (Error "instruction 0: jump target out of range")
+    (I.validate [| I.Jmp 5; I.Halt |]);
+  Alcotest.check ok "negative jmp target"
+    (Error "instruction 0: jump target out of range")
+    (I.validate [| I.Jmp (-1); I.Halt |]);
+  Alcotest.check ok "jmp in range" (Ok ()) (I.validate [| I.Jmp 1; I.Halt |])
 
 let test_asm_labels () =
   let b = A.create () in
