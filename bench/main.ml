@@ -16,7 +16,9 @@
    (it neither reads nor writes); --check validates every simulation with
    the execution oracle (and implies --no-cache, since a cache hit would
    skip validation); --smoke selects a tiny fixed suite used by
-   bench/perf_smoke.sh and bench/check_smoke.sh.
+   bench/perf_smoke.sh and bench/check_smoke.sh; --only W1,W2 restricts the
+   sweep to the named workloads (bench/paper_smoke.sh); --sched NAME runs
+   the sweep under a schedule scenario (see `clear_sim sched`).
 
    --perf runs a small fixed sweep sequentially and dumps the engine's
    hot-path performance counters (Simrt.Perfctr), both as a table and as
@@ -40,6 +42,7 @@ let quick_suite_options =
     seeds = [ 11; 23; 37 ];
     trim = 0;
     retry_choices = [ 1; 2; 4; 8 ];
+    sched = Sched.Profile.symmetric;
   }
 
 (* Tiny fixed suite for perf smoke-testing: seconds, not minutes, even on one
@@ -51,6 +54,7 @@ let smoke_suite_options =
     seeds = [ 3; 5 ];
     trim = 0;
     retry_choices = [ 2; 5 ];
+    sched = Sched.Profile.symmetric;
   }
 
 let progress label = Printf.eprintf "[bench] %s\n%!" label
@@ -62,6 +66,17 @@ let use_disk_cache = ref true
 let check = ref false
 
 let perf = ref false
+
+(* --sched NAME: run the whole artefact sweep under a schedule scenario.
+   Scenario runs use distinct Suite_cache shard keys (the profile is part of
+   the config digest), so they never collide with symmetric results. *)
+let sched_profile = ref Sched.Profile.symmetric
+
+(* --only W1,W2: restrict the suite sweep to the named workloads. This is
+   how bench/paper_smoke.sh keeps a paper-sized (--paper) timing run
+   affordable on a small host; figures derived from a restricted suite only
+   contain the selected rows. *)
+let only_workloads : Machine.Workload.t list option ref = ref None
 
 (* The suite is computed once per process and reused by every figure
    (in-memory cache), and additionally memoised on disk per (config,
@@ -76,14 +91,20 @@ let get_suite opts =
   | Some s -> s
   | None ->
       let use_cache = !use_disk_cache && not !check in
+      let n_workloads =
+        List.length (match !only_workloads with Some l -> l | None -> Workloads.Registry.all)
+      in
       progress
         (Printf.sprintf
-           "running full suite (4 configs x 19 benchmarks x retry sweep) on %d domain(s)%s%s..."
-           !jobs
+           "running full suite (4 configs x %d benchmarks x retry sweep) on %d domain(s)%s%s..."
+           n_workloads !jobs
            (if !check then " with the execution oracle" else "")
            (if use_cache then ", shard cache on" else ""));
       let t0 = Unix.gettimeofday () in
-      let s = Experiments.run_suite ~jobs:!jobs ~check:!check ~cache:use_cache ~progress opts in
+      let s =
+        Experiments.run_suite ~jobs:!jobs ~check:!check ~cache:use_cache
+          ?workloads:!only_workloads ~progress opts
+      in
       progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
       suite_cache := Some s;
       s
@@ -353,10 +374,37 @@ let () =
     | "--check" :: rest ->
         check := true;
         strip_flags acc rest
+    | "--sched" :: name :: rest ->
+        (match Sched.Scenarios.find (String.lowercase_ascii name) with
+        | Some p -> sched_profile := p
+        | None ->
+            Printf.eprintf "--sched expects one of %s, got %s\n"
+              (String.concat ", " Sched.Scenarios.names) name;
+            exit 2);
+        strip_flags acc rest
+    | "--only" :: names :: rest ->
+        let picked =
+          String.split_on_char ',' names
+          |> List.map (fun n ->
+                 let n = String.trim n in
+                 match Workloads.Registry.find n with
+                 | w -> w
+                 | exception Not_found ->
+                     Printf.eprintf "--only: unknown workload %s; available: %s\n" n
+                       (String.concat " " Workloads.Registry.names);
+                     exit 2)
+        in
+        only_workloads := Some picked;
+        strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
     | [] -> List.rev acc
   in
   let args = strip_flags [] args in
+  let opts = { opts with Experiments.sched = !sched_profile } in
+  if not (Sched.Profile.is_symmetric !sched_profile) then
+    progress
+      (Printf.sprintf "schedule scenario: %s (%s)" !sched_profile.Sched.Profile.name
+         !sched_profile.Sched.Profile.description);
   let wanted = List.filter (fun a -> a <> "--paper" && a <> "--smoke") args in
   let wanted =
     if wanted = [] && !perf then [] (* --perf alone: just the counter dump *)

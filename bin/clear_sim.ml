@@ -3,6 +3,8 @@
    `clear_sim list`                         enumerate benchmarks
    `clear_sim run -w bst -c W ...`          run one benchmark/config
    `clear_sim suite --jobs 8`               full 4-config sweep on 8 domains
+   `clear_sim suite --sched numa2x`         same sweep under a schedule scenario
+   `clear_sim sched [--json] [--check]`     scheduler-scenario sweep vs the symmetric baseline
    `clear_sim check -w bst -c W`            validate runs with the execution oracle
    `clear_sim analyze [-w bst] [--json]`    static AR verifier (footprints, fits, envelope)
    `clear_sim lint [--json]`                lint all AR bodies (exit 1 on errors)
@@ -174,15 +176,41 @@ let jobs_arg =
   in
   Cmdliner.Term.(const clamp $ arg)
 
+let sched_profile_conv =
+  let parse s =
+    match Sched.Scenarios.find (String.lowercase_ascii s) with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %s (expected one of %s)" s
+                (String.concat ", " Sched.Scenarios.names)))
+  in
+  let print ppf (p : Sched.Profile.t) = Format.pp_print_string ppf p.Sched.Profile.name in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  let doc =
+    Printf.sprintf
+      "Schedule scenario applied to every simulation: %s. The default (symmetric) is the \
+       paper's machine."
+      (String.concat ", " Sched.Scenarios.names)
+  in
+  Arg.(value & opt sched_profile_conv Sched.Profile.symmetric & info [ "sched" ] ~doc)
+
 let suite_cmd =
   let module Experiments = Clear_repro.Experiments in
   let module Suite_cache = Clear_repro.Suite_cache in
-  let suite jobs paper workload check no_cache cache_clear =
+  let suite jobs paper workload check no_cache cache_clear sched =
     if cache_clear then begin
       let n = Suite_cache.clear () in
       Printf.eprintf "[suite] cleared %d cache shard(s) from %s\n%!" n Suite_cache.dir
     end;
     let opts = if paper then Experiments.default_options else Experiments.quick_options in
+    let opts = { opts with Experiments.sched } in
+    if not (Sched.Profile.is_symmetric sched) then
+      Printf.eprintf "[suite] schedule scenario: %s (%s)\n%!" sched.Sched.Profile.name
+        sched.Sched.Profile.description;
     let workloads =
       match workload with
       | None -> Workloads.Registry.all
@@ -226,7 +254,195 @@ let suite_cmd =
     (Cmd.info "suite"
        ~doc:"Run the 4-configuration sweep on a pool of domains; print Figure 8 and the headline.")
     Term.(const suite $ jobs_arg $ paper_arg $ workload_filter $ check_arg $ no_cache_arg
-          $ cache_clear_arg)
+          $ cache_clear_arg $ sched_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sched: scenario sweep against the symmetric baseline                *)
+
+(* One scenario materially shifts the retry economics when its one-retry or
+   fallback share moves by at least this much (absolute) versus the symmetric
+   baseline under the same configuration. *)
+let material_delta = 0.05
+
+let sched_cmd =
+  let module S = Machine.Stats in
+  let module J = Report.Json in
+  let mean = Simrt.Summary.mean in
+  let run json check fingerprint jobs workload cores ops retries =
+    let w = find_workload workload in
+    let seeds = [ 3; 5; 7 ] in
+    let tasks =
+      List.concat_map
+        (fun (sname, prof) ->
+          List.concat_map
+            (fun letter ->
+              let cfg = config_of letter ~cores ~ops ~seed:0 ~retries in
+              let cfg = Machine.Config.with_sched cfg prof in
+              List.map
+                (fun seed -> ((sname, letter, seed), { Clear_repro.Run.cfg; workload = w; seed }))
+                seeds)
+            Clear_repro.Experiments.letters)
+        Sched.Scenarios.all
+    in
+    let stats_list =
+      try Simrt.Pool.parallel_map ~jobs (Clear_repro.Run.runner ~check) (List.map snd tasks)
+      with Clear_repro.Run.Check_failed msg ->
+        Printf.eprintf "[sched] oracle violation:\n%s\n%!" msg;
+        exit 1
+    in
+    let results = List.map2 (fun (key, _) st -> (key, st)) tasks stats_list in
+    if fingerprint then
+      (* OCaml-syntax golden rows for test/test_sched.ml regeneration. *)
+      List.iter
+        (fun ((sname, letter, seed), st) ->
+          Printf.printf "    (%S, %S, %d, (%d, %d, %d, %d, %d));\n" sname letter seed
+            (S.total_cycles st) (S.commits st) (S.aborts st) (S.instrs st) (S.wasted_instrs st))
+        results
+    else begin
+      (* Aggregate seeds per (scenario, config). *)
+      let agg (sname, letter) =
+        let runs =
+          List.filter_map
+            (fun ((s, l, _), st) -> if s = sname && l = letter then Some st else None)
+            results
+        in
+        let over f = mean (List.map f runs) in
+        let one = over (fun st -> let a, _, _ = S.retry_breakdown st in a) in
+        let many = over (fun st -> let _, b, _ = S.retry_breakdown st in b) in
+        let fb = over (fun st -> let _, _, c = S.retry_breakdown st in c) in
+        ( over (fun st -> float_of_int (S.total_cycles st)),
+          over S.aborts_per_commit,
+          (one, many, fb),
+          over (fun st -> float_of_int (Simrt.Counter.get (S.counters st) "numa_adder_cycles")) )
+      in
+      let letters = Clear_repro.Experiments.letters in
+      let baseline = List.map (fun l -> (l, agg ("symmetric", l))) letters in
+      let scenario_rows =
+        List.map
+          (fun (sname, _) ->
+            let per_letter =
+              List.map
+                (fun l ->
+                  let ((_, _, (one, _, fb), _) as a) = agg (sname, l) in
+                  let _, _, (bone, _, bfb), _ = List.assoc l baseline in
+                  let material =
+                    sname <> "symmetric"
+                    && (Float.abs (one -. bone) >= material_delta
+                        || Float.abs (fb -. bfb) >= material_delta)
+                  in
+                  (l, a, material))
+                letters
+            in
+            (sname, per_letter))
+          Sched.Scenarios.all
+      in
+      let materially_different =
+        List.length
+          (List.filter
+             (fun (sname, per) -> sname <> "symmetric" && List.exists (fun (_, _, m) -> m) per)
+             scenario_rows)
+      in
+      if json then
+        print_endline
+          (J.to_string_pretty
+             (J.Obj
+                [
+                  ("workload", J.Str w.Machine.Workload.name);
+                  ("cores", J.Int cores);
+                  ("ops_per_thread", J.Int ops);
+                  ("seeds", J.List (List.map (fun s -> J.Int s) seeds));
+                  ("checked", J.Bool check);
+                  ("material_delta", J.Float material_delta);
+                  ("materially_different", J.Int materially_different);
+                  ( "scenarios",
+                    J.List
+                      (List.map
+                         (fun (sname, per) ->
+                           J.Obj
+                             [
+                               ("name", J.Str sname);
+                               ( "configs",
+                                 J.List
+                                   (List.map
+                                      (fun (l, (cycles, apc, (one, many, fb), numa), material) ->
+                                        J.Obj
+                                          [
+                                            ("config", J.Str l);
+                                            ("cycles", J.Float cycles);
+                                            ("aborts_per_commit", J.Float apc);
+                                            ("one_retry", J.Float one);
+                                            ("n_retry", J.Float many);
+                                            ("fallback", J.Float fb);
+                                            ("numa_adder_cycles", J.Float numa);
+                                            ("materially_different", J.Bool material);
+                                          ])
+                                      per) );
+                             ])
+                         scenario_rows) );
+                ]))
+      else begin
+        let t =
+          Report.Table.create
+            ~title:
+              (Printf.sprintf "Scheduler scenarios: %s, %d cores, %d ops/thread (mean of %d seeds)"
+                 w.Machine.Workload.name cores ops (List.length seeds))
+            ~columns:
+              [ "Scenario"; "Cfg"; "cycles"; "ab/commit"; "1-retry"; "n-retry"; "fallback";
+                "numa-cyc"; "shift" ]
+        in
+        List.iter
+          (fun (sname, per) ->
+            List.iter
+              (fun (l, (cycles, apc, (one, many, fb), numa), material) ->
+                Report.Table.add_row t
+                  [
+                    sname;
+                    l;
+                    Printf.sprintf "%.0f" cycles;
+                    Report.Table.f2 apc;
+                    Report.Table.pct one;
+                    Report.Table.pct many;
+                    Report.Table.pct fb;
+                    Printf.sprintf "%.0f" numa;
+                    (if material then "*" else "");
+                  ])
+              per;
+            Report.Table.add_separator t)
+          scenario_rows;
+        Report.Table.print t;
+        Printf.printf
+          "%d of %d scenarios materially shift the retry mix vs symmetric (|delta| >= %.0f%% on \
+           1-retry or fallback share)\n"
+          materially_different
+          (List.length Sched.Scenarios.all - 1)
+          (100. *. material_delta)
+      end
+    end
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ] ~doc:"Validate every scenario run with the execution oracle.")
+  in
+  let fingerprint_arg =
+    Arg.(value & flag
+         & info [ "fingerprint" ]
+             ~doc:"Print OCaml-syntax golden rows (scenario, config, seed, counters) for the \
+                   test tables instead of the report.")
+  in
+  let sched_workload_arg =
+    let doc = "Benchmark driving the scenario sweep (see `clear_sim list`)." in
+    Arg.(value & opt string "stack" & info [ "w"; "workload" ] ~doc)
+  in
+  let sched_cores_arg = Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Simulated cores.") in
+  let sched_ops_arg = Arg.(value & opt int 80 & info [ "ops" ] ~doc:"Operations per thread.") in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Run every schedule scenario (hot core, think skew, NUMA asymmetry, phased start) \
+             against the symmetric baseline across all four configurations and report how the \
+             retry/fallback mix shifts. Deterministic per (workload, cores, ops, seed).")
+    Term.(const run $ json_arg $ check_arg $ fingerprint_arg $ jobs_arg $ sched_workload_arg
+          $ sched_cores_arg $ sched_ops_arg $ retries_arg)
 
 let check_cmd =
   let check workload all letter cores ops seed retries frontend =
@@ -436,4 +652,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; suite_cmd; check_cmd; list_cmd; analyze_cmd; lint_cmd; config_cmd ]))
+          [ run_cmd; suite_cmd; sched_cmd; check_cmd; list_cmd; analyze_cmd; lint_cmd; config_cmd ]))

@@ -7,6 +7,7 @@ type options = {
   seeds : int list;
   trim : int;
   retry_choices : int list;
+  sched : Sched.Profile.t;
 }
 
 let default_options =
@@ -16,6 +17,7 @@ let default_options =
     seeds = [ 11; 23; 37; 41; 53; 67; 79; 83; 97; 101 ];
     trim = 3;
     retry_choices = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+    sched = Sched.Profile.symmetric;
   }
 
 let quick_options =
@@ -25,12 +27,15 @@ let quick_options =
     seeds = [ 11; 23; 37 ];
     trim = 0;
     retry_choices = [ 2; 5; 8 ];
+    sched = Sched.Profile.symmetric;
   }
 
 type suite = { options : options; rows : (string * (string * Run.t) list) list }
 
 let apply_options (opts : options) (cfg : Machine.Config.t) =
-  { cfg with Machine.Config.cores = opts.cores; ops_per_thread = opts.ops_per_thread }
+  Machine.Config.with_sched
+    { cfg with Machine.Config.cores = opts.cores; ops_per_thread = opts.ops_per_thread }
+    opts.sched
 
 let presets opts =
   [

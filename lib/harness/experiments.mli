@@ -13,6 +13,12 @@ type options = {
   trim : int;
   retry_choices : int list;
       (** the paper sweeps 1..10 and keeps the best per application *)
+  sched : Sched.Profile.t;
+      (** schedule shape applied to every configuration of the sweep;
+          {!Sched.Profile.symmetric} (the default in both option presets)
+          reproduces the paper's machine. The profile is part of each
+          simulation's {!Suite_cache} shard key, so sweeps under different
+          profiles never share cached results. *)
 }
 
 val default_options : options
@@ -50,6 +56,9 @@ val run_suite :
     pass [~cache:true] — a shard hit would skip validation. *)
 
 val config_of_letter : options -> string -> Machine.Config.t
+
+val letters : string list
+(** The four preset letters in presentation order: B, P, C, W. *)
 
 (** {1 Static artefacts} *)
 

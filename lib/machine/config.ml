@@ -27,7 +27,9 @@ type t = {
   think_cycles : int;
   ops_per_thread : int;
   seed : int;
+  sched : Sched.Profile.t;
   fault_blind_line : int option;
+  fault_numa_blind : bool;
 }
 
 let default =
@@ -56,7 +58,9 @@ let default =
     think_cycles = 150;
     ops_per_thread = 400;
     seed = 42;
+    sched = Sched.Profile.symmetric;
     fault_blind_line = None;
+    fault_numa_blind = false;
   }
 
 let baseline = default
@@ -81,6 +85,15 @@ let with_retries t n = { t with max_retries = n }
 let with_cores t n = { t with cores = n }
 
 let with_seed t s = { t with seed = s }
+
+let with_sched t p =
+  (match Sched.Profile.validate p with
+  | [] -> ()
+  | problems ->
+      invalid_arg
+        (Printf.sprintf "Config.with_sched: invalid profile %S: %s" p.Sched.Profile.name
+           (String.concat "; " problems)));
+  { t with sched = p }
 
 let policy_name = function Requester_wins -> "requester-wins" | Power_tm -> "PowerTM"
 

@@ -45,6 +45,11 @@ type t = {
   think_cycles : int;  (** non-AR work between operations *)
   ops_per_thread : int;
   seed : int;
+  sched : Sched.Profile.t;
+      (** Per-core schedule shape: think-time distributions, hot cores,
+          phase offsets and the NUMA latency matrix. The default
+          {!Sched.Profile.symmetric} reproduces the legacy single
+          [think_cycles] pacing bit-for-bit. *)
   (* Fault injection (testing the execution oracle only) *)
   fault_blind_line : int option;
       (** When set, speculative conflict detection ignores this line entirely:
@@ -52,6 +57,12 @@ type t = {
           conflict map. This deliberately breaks atomicity — it exists so
           tests can prove the {!Check} oracles catch real bugs. [None] (the
           default) in all presets. *)
+  fault_numa_blind : bool;
+      (** When [true] and the schedule profile has an asymmetric NUMA matrix,
+          speculative conflict detection skips every access whose remote-slice
+          latency adder is positive — the cross-socket conflict probe is
+          dropped. Like {!fault_blind_line}, this exists only to prove the
+          oracles notice; [false] everywhere by default. *)
 }
 
 val default : t
@@ -76,6 +87,10 @@ val with_retries : t -> int -> t
 val with_cores : t -> int -> t
 
 val with_seed : t -> int -> t
+
+val with_sched : t -> Sched.Profile.t -> t
+(** Attach a schedule profile. Raises [Invalid_argument] when
+    {!Sched.Profile.validate} reports problems. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump used to print Table 2. *)

@@ -80,7 +80,8 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
   let store = Mem.Store.create ~words in
   let stats = Stats.create () in
   let hierarchy =
-    Mem.Hierarchy.create cfg.mem_params ~cores:cfg.cores ~store ~counters:(Stats.counters stats)
+    Mem.Hierarchy.create ~numa:cfg.sched.Sched.Profile.numa cfg.mem_params ~cores:cfg.cores ~store
+      ~counters:(Stats.counters stats)
   in
   let root_rng = Rng.create cfg.seed in
   workload.setup store (Rng.split root_rng 1_000_003);
@@ -126,7 +127,9 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
   in
   let queue = Event_queue.create () in
   Array.iter
-    (fun c -> Event_queue.push queue ~time:(Rng.int c.rng (cfg.think_cycles + 1)) c.id)
+    (fun c ->
+      let time = Sched.Profile.start_offset cfg.sched ~core:c.id ~base:cfg.think_cycles c.rng in
+      Event_queue.push queue ~time c.id)
     cores;
   (* Snapshot after setup and driver construction (closure-creation-time
      writes are part of the initial image), before any simulated cycle. *)
@@ -255,9 +258,14 @@ let witness_mode_of = function
 
 let sorted_bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
-(* Fault injection: a line the conflict-detection hardware is blind to
-   (testing knob — see Config.fault_blind_line). *)
-let blind t line = match t.cfg.fault_blind_line with Some l -> l = line | None -> false
+(* Fault injection: accesses the conflict-detection hardware is blind to
+   (testing knobs — see Config.fault_blind_line / fault_numa_blind). The
+   numa-blind fault drops the conflict probe on every access whose
+   cross-socket adder is positive, so remote-socket transactions race
+   undetected. *)
+let blind t (c : core) line =
+  (match t.cfg.fault_blind_line with Some l -> l = line | None -> false)
+  || (t.cfg.fault_numa_blind && Mem.Hierarchy.numa_adder t.hierarchy ~core:c.id line > 0)
 
 
 (* ------------------------------------------------------------------ *)
@@ -469,7 +477,7 @@ let spec_load t c addr =
   let line = Mem.Addr.line_of addr in
   touch_line t c line;
   blocked_by_remote_lock t c line;
-  if (not c.failed_mode) && not (blind t line) then begin
+  if (not c.failed_mode) && not (blind t c line) then begin
     let wmask = Conflict_map.writers_excl t.conflicts ~core:c.id line in
     t.perf.conflict_checks <- t.perf.conflict_checks + 1;
     if wmask <> 0 then begin
@@ -483,7 +491,7 @@ let spec_load t c addr =
   let outcome = Mem.Hierarchy.read_line t.hierarchy ~core:c.id line in
   check_evictions c outcome;
   Txn.read_line c.txn line;
-  if (not c.failed_mode) && not (blind t line) then Conflict_map.add_reader t.conflicts ~core:c.id line;
+  if (not c.failed_mode) && not (blind t c line) then Conflict_map.add_reader t.conflicts ~core:c.id line;
   record_in_alt t c line ~written:false;
   cap_read t c line;
   t.perf.store_forward_scans <- t.perf.store_forward_scans + 1;
@@ -511,7 +519,7 @@ let spec_store t c addr value =
   end
   else begin
     blocked_by_remote_lock t c line;
-    if not (blind t line) then begin
+    if not (blind t c line) then begin
       let mask =
         Conflict_map.writers_excl t.conflicts ~core:c.id line
         lor Conflict_map.readers_excl t.conflicts ~core:c.id line
@@ -529,7 +537,7 @@ let spec_store t c addr value =
     check_evictions c outcome;
     Txn.buffer_store c.txn addr value;
     Txn.write_line c.txn line;
-    if not (blind t line) then Conflict_map.add_writer t.conflicts ~core:c.id line;
+    if not (blind t c line) then Conflict_map.add_writer t.conflicts ~core:c.id line;
     cap_write t c line;
     cap_store t c addr value;
     outcome.Mem.Hierarchy.latency
@@ -872,7 +880,7 @@ let step_exec t c =
           end)
 
 let step_next_op t c =
-  if c.ops_done >= t.cfg.ops_per_thread then begin
+  if c.ops_done >= Sched.Profile.ops_for t.cfg.sched ~core:c.id ~base:t.cfg.ops_per_thread then begin
     c.finished <- true;
     c.phase <- P_done;
     0
@@ -899,8 +907,13 @@ let step_next_op t c =
     c.attempt <- 0;
     c.retries_counted <- 0;
     c.planned <- None;
-    let jitter = Rng.int c.rng (1 + (t.cfg.think_cycles / 2)) in
-    t.cfg.think_cycles + op.Workload.extra_think + jitter
+    (* Per-core pacing from the schedule profile (the symmetric default is
+       the legacy think_cycles + U[0, think/2] draw, bit-for-bit). The
+       workload's own extra_think rides on top regardless of profile. *)
+    let think =
+      Sched.Profile.sample_think t.cfg.sched ~core:c.id ~base:t.cfg.think_cycles c.rng
+    in
+    think + op.Workload.extra_think
   end
 
 let step t c =

@@ -8,11 +8,14 @@ type t = {
   l2s : Cache.t array;
   l3 : Cache.t;
   counters : Counter.set;
+  numa : Numa.t;
+  cores : int;
 }
 
 type outcome = { latency : int; l1_evicted : Addr.line list }
 
-let create params ~cores ~store ~counters =
+let create ?(numa = Numa.flat) params ~cores ~store ~counters =
+  if not (Numa.well_formed numa) then invalid_arg "Hierarchy.create: malformed NUMA matrix";
   {
     params;
     store;
@@ -21,6 +24,8 @@ let create params ~cores ~store ~counters =
     l2s = Array.init cores (fun _ -> Cache.create ~sets:params.Params.l2_sets ~ways:params.Params.l2_ways);
     l3 = Cache.create ~sets:params.Params.l3_sets ~ways:params.Params.l3_ways;
     counters;
+    numa;
+    cores;
   }
 
 let params t = t.params
@@ -32,6 +37,18 @@ let directory t = t.directory
 let l1 t ~core = t.l1s.(core)
 
 let locked_by t line = Directory.locked_by t.directory line
+
+let numa t = t.numa
+
+(* The extra cycles [core] pays to consult [line]'s home directory slice.
+   Zero on the symmetric machine ([Numa.flat]); charged only when an access
+   actually leaves the private caches, so L1 hits stay socket-blind. *)
+let numa_adder t ~core line =
+  Numa.adder t.numa ~cores:t.cores ~core ~dir_set:(Params.dir_set_of t.params line)
+
+let charge_numa t n =
+  if n > 0 then Counter.add t.counters "numa_adder_cycles" n;
+  n
 
 (* Install [line] in [core]'s private caches, spilling L1 victims into L2 and
    dropping L2 victims from the directory when they are no longer cached
@@ -78,6 +95,7 @@ let access t ~core line ~exclusive =
     in
     invalidate_remote t line invalidated;
     let coh_latency = charge_coherence t coh in
+    let numa = numa_adder t ~core line in
     let l1 = t.l1s.(core) and l2 = t.l2s.(core) in
     (* An exclusive access that had to invalidate other copies pays the
        coherence round-trip even if its own tags hit. *)
@@ -87,8 +105,11 @@ let access t ~core line ~exclusive =
     end
     else if Cache.touch l2 line && not coh.from_remote then begin
       Counter.incr t.counters "l2_hit";
+      (* Private hit, but any coherence exchange went through the line's
+         home slice — cross-socket requesters pay the asymmetry adder. *)
+      let remote = if coh.msgs > 0 then charge_numa t numa else 0 in
       let evicted = install_private t ~core line in
-      { latency = Params.load_latency p ~level:`L2 + coh_latency; l1_evicted = evicted }
+      { latency = Params.load_latency p ~level:`L2 + coh_latency + remote; l1_evicted = evicted }
     end
     else begin
       let level =
@@ -107,7 +128,10 @@ let access t ~core line ~exclusive =
       in
       ignore (Cache.insert t.l3 line : Addr.line option);
       let evicted = install_private t ~core line in
-      { latency = Params.load_latency p ~level + coh_latency; l1_evicted = evicted }
+      (* Fills beyond the private caches are serviced via the home slice:
+         always charge the asymmetry adder on this path. *)
+      { latency = Params.load_latency p ~level + coh_latency + charge_numa t numa;
+        l1_evicted = evicted }
     end
   end
 
@@ -133,7 +157,9 @@ let lock_line t ~core line =
       Counter.add t.counters "coh_msgs" 2;
       let evicted = install_private t ~core line in
       let transfer = if invalidated <> [] then t.params.Params.remote_transfer else 0 in
-      `Acquired { latency = t.params.Params.coherence_msg + transfer; l1_evicted = evicted }
+      (* Lock acquisition always talks to the home slice. *)
+      let remote = charge_numa t (numa_adder t ~core line) in
+      `Acquired { latency = t.params.Params.coherence_msg + transfer + remote; l1_evicted = evicted }
 
 let unlock_line t ~core line = Directory.unlock t.directory ~core line
 

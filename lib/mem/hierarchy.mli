@@ -14,9 +14,21 @@ type outcome = {
       (** lines this access pushed out of the requester's L1 *)
 }
 
-val create : Params.t -> cores:int -> store:Store.t -> counters:Simrt.Counter.set -> t
+val create :
+  ?numa:Numa.t -> Params.t -> cores:int -> store:Store.t -> counters:Simrt.Counter.set -> t
+(** [numa] (default {!Numa.flat}) adds per-(core socket, home slice) latency
+    on every access that consults the directory beyond a private L1 hit:
+    coherence exchanges, L3/memory fills, and cacheline-lock acquisitions.
+    Charged cycles accumulate in the ["numa_adder_cycles"] counter. Raises
+    [Invalid_argument] when the matrix is not {!Numa.well_formed}. *)
 
 val params : t -> Params.t
+
+val numa : t -> Numa.t
+
+val numa_adder : t -> core:int -> Addr.line -> int
+(** The asymmetry cycles [core] would pay to consult [line]'s home directory
+    slice; zero on a flat matrix. Pure query — charges nothing. *)
 
 val store : t -> Store.t
 

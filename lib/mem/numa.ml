@@ -1,0 +1,36 @@
+type t = { sockets : int; adders : int array array }
+
+let flat = { sockets = 1; adders = [| [| 0 |] |] }
+
+let two_socket ~remote =
+  { sockets = 2; adders = [| [| 0; remote |]; [| remote; 0 |] |] }
+
+let well_formed t =
+  t.sockets >= 1
+  && Array.length t.adders = t.sockets
+  && Array.for_all (fun row -> Array.length row = t.sockets) t.adders
+  && begin
+       let ok = ref true in
+       for i = 0 to t.sockets - 1 do
+         for j = 0 to t.sockets - 1 do
+           if t.adders.(i).(j) < 0 then ok := false;
+           if i = j && t.adders.(i).(j) <> 0 then ok := false;
+           if t.adders.(i).(j) <> t.adders.(j).(i) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let socket_of_core t ~cores core =
+  if t.sockets = 1 then 0
+  else if cores <= t.sockets then core mod t.sockets
+  else min (t.sockets - 1) (core * t.sockets / cores)
+
+let home_of_dir_set t ~dir_set = dir_set mod t.sockets
+
+let adder t ~cores ~core ~dir_set =
+  if t.sockets = 1 then 0
+  else t.adders.(socket_of_core t ~cores core).(home_of_dir_set t ~dir_set)
+
+let is_flat t =
+  t.sockets = 1 || Array.for_all (fun row -> Array.for_all (fun a -> a = 0) row) t.adders

@@ -1,0 +1,50 @@
+(** Socket-level latency asymmetry ("NUMA-ish" in ROADMAP's words).
+
+    Cores are partitioned into [sockets] contiguous groups and every
+    directory slice (hence every cache line) has a home socket. An access
+    that leaves the requester's private caches — a coherence transfer, an
+    L3/memory fill, or a cacheline-lock acquisition — consults the line's
+    home slice and is charged [adders.(requester socket).(home socket)]
+    extra cycles on top of the symmetric hierarchy latency. The diagonal is
+    zero, so a 1-socket matrix reproduces the symmetric machine exactly.
+
+    The matrix is pure data (Marshal-safe): it travels inside
+    [Machine.Config] and therefore participates in the suite-cache digest. *)
+
+type t = {
+  sockets : int;  (** >= 1 *)
+  adders : int array array;
+      (** [sockets x sockets]; [adders.(i).(j)] is the extra latency a core
+          of socket [i] pays to reach a line homed on socket [j]. Zero
+          diagonal, non-negative, symmetric. *)
+}
+
+val flat : t
+(** One socket, zero adder: the symmetric machine. *)
+
+val two_socket : remote:int -> t
+(** Two sockets whose cross-socket accesses each pay [remote] extra
+    cycles. *)
+
+val well_formed : t -> bool
+(** Square [sockets x sockets] matrix, [sockets >= 1], zero diagonal,
+    non-negative entries, and symmetric ([adders.(i).(j) = adders.(j).(i)]).
+    Every matrix accepted by {!Hierarchy.create} must satisfy this. *)
+
+val socket_of_core : t -> cores:int -> int -> int
+(** Contiguous block partition: with [cores] total cores, core [c] belongs
+    to socket [c * sockets / cores] (the last socket absorbs any
+    remainder). With [cores < sockets] every core gets its own socket. *)
+
+val home_of_dir_set : t -> dir_set:int -> int
+(** The home socket of a directory slice: [dir_set mod sockets], so
+    consecutive slices interleave across sockets. *)
+
+val adder : t -> cores:int -> core:int -> dir_set:int -> int
+(** The extra cycles [core] pays to reach a line of slice [dir_set]. Zero
+    whenever requester and home sockets coincide (and always zero for
+    {!flat}). *)
+
+val is_flat : t -> bool
+(** True when no (core, slice) pair can ever be charged: a single socket or
+    an all-zero matrix. *)

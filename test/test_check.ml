@@ -300,6 +300,7 @@ let test_suite_checked_smoke () =
       seeds = [ 3 ];
       trim = 0;
       retry_choices = [ 2 ];
+    sched = Sched.Profile.symmetric;
     }
   in
   let suite =

@@ -156,21 +156,110 @@ let test_fuzz_window_values_stay_valid () =
     done
   done
 
+(* A random (but valid) schedule profile: random think distributions, hot
+   cores, phase stagger, and a coin-flip two-socket latency matrix. Pure
+   data, so it drops straight into Config.with_sched. *)
+let gen_profile ~seed =
+  let rng = Random.State.make [| seed; 0x5ced |] in
+  let gi bound = QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound) in
+  let dist () =
+    match gi 3 with
+    | 0 -> Sched.Profile.Default
+    | 1 -> Sched.Profile.Const (gi 100)
+    | 2 ->
+        let lo = gi 100 in
+        Sched.Profile.Uniform { lo; hi = lo + gi 200 }
+    | _ ->
+        let lo = gi 100 in
+        Sched.Profile.Burst { lo; hi = lo + gi 300; heat = float_of_int (gi 8) /. 4.0 }
+  in
+  {
+    Sched.Profile.name = Printf.sprintf "fuzz-prof-%d" seed;
+    description = "randomly drawn schedule profile";
+    think = dist ();
+    hot_cores = gi 2;
+    hot_think = dist ();
+    hot_op_mult = 1 + gi 2;
+    phase_stride = gi 500;
+    numa = (if gi 1 = 0 then Mem.Numa.flat else Mem.Numa.two_socket ~remote:(10 + gi 90));
+  }
+
 let test_fuzz_oracles_pass () =
   (* The strongest property in the suite: every fuzzed execution, under
-     every configuration and frontend, passes all three oracles —
-     serializability of the commit order, bit-exact sequential replay, and
-     lock safety. *)
+     every configuration and frontend — and under a randomly drawn schedule
+     profile as well as the symmetric one — passes all oracles:
+     serializability of the commit order, bit-exact sequential replay, lock
+     safety, and the static soundness gate. *)
   for seed = 50 to 57 do
     let w = gen_workload ~seed ~ar_count:3 in
+    let profile = gen_profile ~seed in
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d profile valid" seed)
+      [] (Sched.Profile.validate profile);
     List.iter
       (fun (label, cfg) ->
-        let sim = { Clear_repro.Run.cfg = shape cfg; workload = w; seed } in
-        let _stats, verdict = Clear_repro.Run.run_sim_checked sim in
-        if not (Check.Verdict.ok verdict) then
-          Alcotest.failf "seed %d %s: %s" seed label (Check.Verdict.to_string verdict))
+        List.iter
+          (fun (plabel, prof) ->
+            let cfg = Machine.Config.with_sched (shape cfg) prof in
+            let sim = { Clear_repro.Run.cfg; workload = w; seed } in
+            let _stats, verdict = Clear_repro.Run.run_sim_checked sim in
+            if not (Check.Verdict.ok verdict) then
+              Alcotest.failf "seed %d %s %s: %s" seed label plabel
+                (Check.Verdict.to_string verdict))
+          [ ("sym", Sched.Profile.symmetric); ("rand", profile) ])
       cfgs
   done
+
+(* ------------------------------------------------------------------ *)
+(* Injected numa-blind fault: when fault_numa_blind drops the conflict probe
+   on every cross-socket access, remote-socket cores race on shared lines
+   undetected — the oracles must notice. A shared counter homed on socket 0
+   makes the lost updates deterministic to provoke. *)
+
+let counter_workload =
+  let ar =
+    P.build_ar ~id:0 ~name:"count" (fun b ->
+        Isa.Asm.ld b ~dst:8 ~base:(I.Imm 0) ~region:"ctr" ();
+        Isa.Asm.add b ~dst:8 (I.Reg 8) (I.Imm 1);
+        Isa.Asm.st b ~base:(I.Imm 0) ~src:(I.Reg 8) ~region:"ctr" ();
+        Isa.Asm.halt b)
+  in
+  {
+    Workload.name = "numa-counter";
+    description = "shared counter homed on socket 0";
+    ars = [ ar ];
+    memory_words = 128;
+    setup = (fun store _ -> Store.write store 0 0);
+    make_driver = (fun ~tid:_ ~threads:_ _ _ () -> Workload.op ar []);
+  }
+
+let test_numa_blind_fault_caught () =
+  let cfg sname fault =
+    Machine.Config.with_sched
+      {
+        Config.baseline with
+        Config.cores = 4;
+        ops_per_thread = 60;
+        memory_words = 1 lsl 16;
+        fault_numa_blind = fault;
+      }
+      (Sched.Scenarios.find_exn sname)
+  in
+  (* Control 1: the fault knob is inert on a flat matrix (no access has a
+     positive adder, so nothing is blind). *)
+  let sim = { Clear_repro.Run.cfg = cfg "symmetric" true; workload = counter_workload; seed = 5 } in
+  let _stats, verdict = Clear_repro.Run.run_sim_checked sim in
+  Alcotest.(check bool) "flat matrix: knob inert, run clean" true (Check.Verdict.ok verdict);
+  (* Control 2: numa2x without the fault is clean. *)
+  let sim = { Clear_repro.Run.cfg = cfg "numa2x" false; workload = counter_workload; seed = 5 } in
+  let _stats, verdict = Clear_repro.Run.run_sim_checked sim in
+  Alcotest.(check bool) "numa2x without fault clean" true (Check.Verdict.ok verdict);
+  (* The bug: numa2x with the dropped cross-socket probe loses updates. *)
+  let sim = { Clear_repro.Run.cfg = cfg "numa2x" true; workload = counter_workload; seed = 5 } in
+  let _stats, verdict = Clear_repro.Run.run_sim_checked sim in
+  Alcotest.(check bool) "numa-blind fault caught" true (not (Check.Verdict.ok verdict));
+  Alcotest.(check bool) "serializability or replay flagged" true
+    (Result.is_error verdict.Check.Verdict.serial || Result.is_error verdict.Check.Verdict.replay)
 
 let () =
   Alcotest.run "fuzz"
@@ -181,6 +270,9 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic;
           Alcotest.test_case "no stray writes" `Quick test_fuzz_no_stray_writes;
           Alcotest.test_case "pointer closure" `Quick test_fuzz_window_values_stay_valid;
-          Alcotest.test_case "all oracles pass (all configs)" `Quick test_fuzz_oracles_pass;
+          Alcotest.test_case "all oracles pass (all configs x profiles)" `Quick
+            test_fuzz_oracles_pass;
+          Alcotest.test_case "numa-blind fault caught by oracles" `Quick
+            test_numa_blind_fault_caught;
         ] );
     ]

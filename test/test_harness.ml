@@ -13,6 +13,7 @@ let micro_options =
     seeds = [ 3; 5 ];
     trim = 0;
     retry_choices = [ 4 ];
+    sched = Sched.Profile.symmetric;
   }
 
 let micro_workloads = [ Workloads.Arrayswap.workload; Workloads.Bitcoin.workload ]
@@ -187,6 +188,73 @@ let test_shard_prune_stale () =
     (Suite_cache.load_shard cfg ~workload:name ~seed:4 <> None);
   ignore (Suite_cache.clear ())
 
+(* Changing only the schedule profile must change the shard key: a shard
+   written under the symmetric profile is invisible to a numa2x sweep and
+   vice versa, while each profile still hits its own shards. *)
+let test_shard_sched_keying () =
+  ignore (Suite_cache.clear ());
+  let cfg = Experiments.config_of_letter micro_options "C" in
+  let cfg_numa = Config.with_sched cfg Sched.Scenarios.numa2x in
+  let w = Workloads.Arrayswap.workload in
+  let name = w.Machine.Workload.name in
+  Suite_cache.save_shard cfg ~workload:name ~seed:9 (Run.run_sim { Run.cfg; workload = w; seed = 9 });
+  Alcotest.(check bool) "numa2x misses symmetric shard" true
+    (Suite_cache.load_shard cfg_numa ~workload:name ~seed:9 = None);
+  Suite_cache.save_shard cfg_numa ~workload:name ~seed:9
+    (Run.run_sim { Run.cfg = cfg_numa; workload = w; seed = 9 });
+  Alcotest.(check bool) "numa2x shard hits" true
+    (Suite_cache.load_shard cfg_numa ~workload:name ~seed:9 <> None);
+  Alcotest.(check bool) "symmetric shard still hits" true
+    (Suite_cache.load_shard cfg ~workload:name ~seed:9 <> None);
+  ignore (Suite_cache.clear ())
+
+(* Partial-hit splice across a sched-profile change: warm the cache with one
+   workload under numa2x, then sweep both workloads under numa2x (half hit,
+   half simulated, spliced in task order) — the result must be bit-identical
+   to a cold uncached numa2x sweep. A symmetric sweep warmed first makes
+   sure foreign-profile shards never leak into the splice. *)
+let test_partial_hit_splice_sched () =
+  ignore (Suite_cache.clear ());
+  let numa_options = { micro_options with Experiments.sched = Sched.Scenarios.numa2x } in
+  ignore (Experiments.run_suite ~cache:true ~workloads:micro_workloads micro_options);
+  ignore
+    (Experiments.run_suite ~cache:true ~workloads:[ Workloads.Arrayswap.workload ] numa_options);
+  let messages = ref [] in
+  let progress m = messages := m :: !messages in
+  let warm =
+    Experiments.run_suite ~cache:true ~workloads:micro_workloads ~progress numa_options
+  in
+  Alcotest.(check bool) "sweep was a partial hit" true
+    (List.exists (fun m -> contains m "shard(s) hit") !messages);
+  let cold = Experiments.run_suite ~workloads:micro_workloads numa_options in
+  Alcotest.(check bool) "spliced sweep equals cold sweep" true
+    (warm.Experiments.rows = cold.Experiments.rows);
+  ignore (Suite_cache.clear ())
+
+(* prune_stale also sweeps up legacy whole-suite entries and shards written
+   by other builds, without touching fresh shards or unrelated files. *)
+let test_prune_legacy_and_clear_scope () =
+  ignore (Suite_cache.clear ());
+  let cfg = Experiments.config_of_letter micro_options "B" in
+  let w = Workloads.Arrayswap.workload in
+  let name = w.Machine.Workload.name in
+  Suite_cache.save_shard cfg ~workload:name ~seed:4 (Run.run_sim { Run.cfg; workload = w; seed = 4 });
+  let legacy = Filename.concat Suite_cache.dir "suite-0123abcd.bin" in
+  Out_channel.with_open_bin legacy (fun oc -> Marshal.to_channel oc "some-old-build" []);
+  let stale = Filename.concat Suite_cache.dir "shard-cafebabe.bin" in
+  Out_channel.with_open_bin stale (fun oc -> Marshal.to_channel oc "not-this-build" []);
+  let unrelated = Filename.concat Suite_cache.dir "notes.txt" in
+  Out_channel.with_open_bin unrelated (fun oc -> Out_channel.output_string oc "keep me");
+  Suite_cache.prune_stale ();
+  Alcotest.(check bool) "legacy suite entry pruned" false (Sys.file_exists legacy);
+  Alcotest.(check bool) "stale shard pruned" false (Sys.file_exists stale);
+  Alcotest.(check bool) "fresh shard survives prune" true
+    (Suite_cache.load_shard cfg ~workload:name ~seed:4 <> None);
+  Alcotest.(check bool) "unrelated file survives prune" true (Sys.file_exists unrelated);
+  Alcotest.(check bool) "clear removes the fresh shard" true (Suite_cache.clear () >= 1);
+  Alcotest.(check bool) "unrelated file survives clear" true (Sys.file_exists unrelated);
+  Sys.remove unrelated
+
 let test_suite_cached_identical () =
   ignore (Suite_cache.clear ());
   let messages = ref [] in
@@ -231,6 +299,11 @@ let () =
         [
           Alcotest.test_case "roundtrip + keying" `Quick test_shard_roundtrip;
           Alcotest.test_case "prune stale" `Quick test_shard_prune_stale;
+          Alcotest.test_case "sched profile keying" `Quick test_shard_sched_keying;
+          Alcotest.test_case "partial-hit splice across sched change" `Slow
+            test_partial_hit_splice_sched;
+          Alcotest.test_case "prune legacy + clear scope" `Quick
+            test_prune_legacy_and_clear_scope;
           Alcotest.test_case "cached suite identical" `Slow test_suite_cached_identical;
         ] );
     ]
