@@ -72,6 +72,11 @@ let perf = ref false
    the config digest), so they never collide with symmetric results. *)
 let sched_profile = ref Sched.Profile.symmetric
 
+(* --pdes / --pdes-window N: run every simulation under the windowed
+   conservative PDES engine driver (bit-identical output; run_suite bypasses
+   the shard cache so the driver actually executes). *)
+let pdes : Machine.Pdes.t option ref = ref None
+
 (* --only W1,W2: restrict the suite sweep to the named workloads. This is
    how bench/paper_smoke.sh keeps a paper-sized (--paper) timing run
    affordable on a small host; figures derived from a restricted suite only
@@ -102,7 +107,7 @@ let get_suite opts =
            (if use_cache then ", shard cache on" else ""));
       let t0 = Unix.gettimeofday () in
       let s =
-        Experiments.run_suite ~jobs:!jobs ~check:!check ~cache:use_cache
+        Experiments.run_suite ~jobs:!jobs ~check:!check ~cache:use_cache ?pdes:!pdes
           ?workloads:!only_workloads ~progress opts
       in
       progress (Printf.sprintf "suite done in %.1f s" (Unix.gettimeofday () -. t0));
@@ -290,13 +295,16 @@ let run_perf opts =
           List.iter
             (fun seed ->
               let eng = Machine.Engine.create (Config.with_seed cfg seed) w in
-              ignore (Machine.Engine.run eng : Stats.t);
+              ignore (Machine.Engine.run ?pdes:!pdes eng : Stats.t);
               Simrt.Perfctr.merge_into ~dst:total (Machine.Engine.perfctr eng))
             opts.Experiments.seeds)
         [ "B"; "P"; "C"; "W" ])
     (ablation_workloads ());
   let t =
-    Table.create ~title:"Engine hot-path counters (3 workloads x 4 configs x seeds, sequential)"
+    Table.create
+      ~title:
+        (Printf.sprintf "Engine hot-path counters (3 workloads x 4 configs x seeds, %s)"
+           (match !pdes with None -> "sequential" | Some p -> Machine.Pdes.describe p))
       ~columns:[ "Counter"; "Total" ]
   in
   List.iter (fun (n, v) -> Table.add_row t [ n; string_of_int v ]) (Simrt.Perfctr.to_list total);
@@ -351,18 +359,19 @@ let () =
         strip_flags acc rest
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
-        | Some n when n >= 1 ->
-            (* More domains than the runtime recommends only adds scheduling
-               overhead (the PR-1 "speedup" of 0.54x on a 1-core host): clamp
-               and say so. *)
-            let cap = Domain.recommended_domain_count () in
-            if n > cap then begin
-              Printf.eprintf "[bench] --jobs %d exceeds this host's recommended domain count %d; clamping to %d\n%!" n cap cap;
-              jobs := cap
-            end
-            else jobs := n
-        | Some _ | None ->
+        | Some n -> jobs := Simrt.Pool.clamp_jobs ~context:"bench" n
+        | None ->
             Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 2);
+        strip_flags acc rest
+    | "--pdes" :: rest ->
+        if !pdes = None then pdes := Some Machine.Pdes.unbounded;
+        strip_flags acc rest
+    | "--pdes-window" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> pdes := Some (Machine.Pdes.windowed n)
+        | Some _ | None ->
+            Printf.eprintf "--pdes-window expects a positive integer, got %s\n" n;
             exit 2);
         strip_flags acc rest
     | "--perf" :: rest ->

@@ -1,0 +1,116 @@
+#!/usr/bin/env sh
+# PDES smoke test: determinism hard gate + wall-clock tracking.
+#
+# Runs the tiny fixed suite (bench/main.exe --smoke fig8) under the default
+# sequential event loop and under the windowed conservative PDES driver
+# (--pdes, and --pdes-window 64), and:
+#
+#   1. HARD GATE: all outputs must be byte-identical. The PDES driver is
+#      only allowed to change wall-clock time, never simulated results.
+#   2. HARD GATE: the PDES runs must not be more than 5% (plus a small
+#      absolute slack for timer noise on sub-second runs) slower than the
+#      sequential run — lookahead bookkeeping must pay for itself.
+#   3. Records min-of-3 wall times and the PDES perf counters in
+#      BENCH_pdes.json so the trajectory is tracked across PRs.
+#
+# On this repo's usual 1-core CI host the PDES driver cannot show a
+# parallel win (it is single-domain event batching; the win is fewer heap
+# operations and is small). The JSON says so honestly: parallel_meaningful
+# is false on single-core hosts, and the speedup field compares event-loop
+# overhead only.
+#
+# Usage: sh bench/pdes_smoke.sh   (from the repository root or bench/)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+dune build bench/main.exe 2>&1
+BIN=_build/default/bench/main.exe
+
+HOST_CORES=$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n 1)
+
+now_ms() {
+  t=$(date +%s%N 2>/dev/null)
+  case "$t" in
+    *N) echo "$(date +%s)000" ;;
+    *) echo "$((t / 1000000))" ;;
+  esac
+}
+
+run_once() { # $1 = extra flags, $2 = output file; prints elapsed ms
+  start=$(now_ms)
+  # shellcheck disable=SC2086  # $1 is deliberately word-split into flags
+  "$BIN" --smoke --no-cache $1 fig8 >"$2" 2>/dev/null
+  end=$(now_ms)
+  echo "$((end - start))"
+}
+
+run_best_of_3() { # $1 = extra flags, $2 = output file; prints min elapsed ms
+  best=$(run_once "$1" "$2")
+  for _ in 1 2; do
+    ms=$(run_once "$1" "$2")
+    [ "$ms" -lt "$best" ] && best=$ms
+  done
+  echo "$best"
+}
+
+OUT_SEQ=$(mktemp) OUT_INF=$(mktemp) OUT_W64=$(mktemp)
+trap 'rm -f "$OUT_SEQ" "$OUT_INF" "$OUT_W64"' EXIT
+
+echo "[pdes_smoke] sequential event loop (best of 3)..."
+MS_SEQ=$(run_best_of_3 "" "$OUT_SEQ")
+echo "[pdes_smoke] pdes, unbounded windows (best of 3)..."
+MS_INF=$(run_best_of_3 "--pdes" "$OUT_INF")
+echo "[pdes_smoke] pdes, window 64 (best of 3)..."
+MS_W64=$(run_best_of_3 "--pdes-window 64" "$OUT_W64")
+
+# Gate 1: bit identity. Non-negotiable.
+for f in "$OUT_INF" "$OUT_W64"; do
+  if ! cmp -s "$OUT_SEQ" "$f"; then
+    echo "[pdes_smoke] FAIL: PDES output differs from the sequential engine" >&2
+    diff "$OUT_SEQ" "$f" >&2 || true
+    exit 1
+  fi
+done
+echo "[pdes_smoke] outputs identical: sequential == pdes(inf) == pdes(64)"
+
+# Gate 2: no wall-clock regression beyond 5% + 150 ms timer-noise slack.
+LIMIT=$((MS_SEQ + (MS_SEQ / 20) + 150))
+for pair in "inf $MS_INF" "w64 $MS_W64"; do
+  name=${pair%% *} ms=${pair##* }
+  if [ "$ms" -gt "$LIMIT" ]; then
+    echo "[pdes_smoke] FAIL: pdes($name) took ${ms} ms vs sequential ${MS_SEQ} ms (limit ${LIMIT} ms)" >&2
+    exit 1
+  fi
+done
+echo "[pdes_smoke] wall clock within bounds: seq ${MS_SEQ} ms, pdes(inf) ${MS_INF} ms, pdes(64) ${MS_W64} ms"
+
+echo "[pdes_smoke] PDES perf counters (--perf --pdes)..."
+PERF_JSON=$("$BIN" --smoke --perf --pdes 2>/dev/null \
+  | awk '/^perfctr / { printf "%s    \"%s\": %s", sep, $2, $3; sep = ",\n" } END { print "" }')
+
+if [ "$HOST_CORES" -ge 2 ]; then
+  MEANINGFUL=true
+else
+  MEANINGFUL=false
+fi
+SPEEDUP=$(awk "BEGIN { printf \"%.2f\", $MS_SEQ / ($MS_INF == 0 ? 1 : $MS_INF) }")
+
+cat >BENCH_pdes.json <<EOF
+{
+  "suite": "smoke-fig8 under the windowed conservative PDES driver",
+  "host_cores": $HOST_CORES,
+  "parallel_meaningful": $MEANINGFUL,
+  "note": "single-domain event batching; on a 1-core host the speedup field measures event-loop overhead only",
+  "sequential_wall_ms": $MS_SEQ,
+  "pdes_inf_wall_ms": $MS_INF,
+  "pdes_w64_wall_ms": $MS_W64,
+  "speedup_pdes_inf_over_sequential": $SPEEDUP,
+  "outputs_identical": true,
+  "perfctr": {
+$PERF_JSON  }
+}
+EOF
+
+echo "[pdes_smoke] wrote BENCH_pdes.json"

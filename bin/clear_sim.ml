@@ -62,6 +62,30 @@ let frontend_arg =
   Arg.(value & opt frontend_conv Machine.Config.Htm
        & info [ "frontend" ] ~doc:"Speculation front-end: htm (transactions) or sle (lock elision).")
 
+(* --pdes / --pdes-window: select the windowed conservative PDES engine
+   driver (DESIGN.md §12). Output is bit-identical to the default driver at
+   every window size; the flags exist for timing comparisons and for
+   exercising the driver from the CLI. *)
+let pdes_term =
+  let flag_arg =
+    Arg.(value & flag
+         & info [ "pdes" ]
+             ~doc:"Use the windowed conservative PDES engine driver (unbounded lookahead \
+                   windows). Results are bit-identical to the default event loop.")
+  in
+  let window_arg =
+    Arg.(value & opt int 0
+         & info [ "pdes-window" ] ~docv:"CYCLES"
+             ~doc:"Cap PDES lookahead windows at $(docv) simulated cycles (0 = unbounded). \
+                   Implies --pdes.")
+  in
+  let mk flag window =
+    if window > 0 then Some (Machine.Pdes.windowed window)
+    else if flag then Some Machine.Pdes.unbounded
+    else None
+  in
+  Term.(const mk $ flag_arg $ window_arg)
+
 let find_workload name =
   match Workloads.Registry.find name with
   | w -> w
@@ -81,7 +105,7 @@ let config_of ?(frontend = Machine.Config.Htm) letter ~cores ~ops ~seed ~retries
   { base with Machine.Config.cores; ops_per_thread = ops; seed; max_retries = retries; frontend }
 
 let run_cmd =
-  let run workload letter cores ops seed retries frontend trace_n trace_out =
+  let run workload letter cores ops seed retries frontend trace_n trace_out pdes =
     let w = find_workload workload in
     let cfg = config_of ~frontend letter ~cores ~ops ~seed ~retries in
     let trace =
@@ -92,7 +116,8 @@ let run_cmd =
       else None
     in
     let t0 = Unix.gettimeofday () in
-    let stats = Machine.Engine.run (Machine.Engine.create ?trace cfg w) in
+    let engine = Machine.Engine.create ?trace cfg w in
+    let stats = Machine.Engine.run ?pdes engine in
     let elapsed = Unix.gettimeofday () -. t0 in
     let module S = Machine.Stats in
     Printf.printf "workload        %s (%s, %d cores, %d ops/thread, seed %d)\n" w.name letter cores
@@ -135,6 +160,18 @@ let run_cmd =
     Printf.printf "stall cycles    %d  lock-phase cycles %d\n" (counter "stall_cycles")
       (counter "lock_phase_cycles");
     Printf.printf "host time       %.2f s\n" elapsed;
+    (match pdes with
+    | None -> ()
+    | Some p ->
+        let perf = Machine.Engine.perfctr engine in
+        Printf.printf
+          "pdes            %s: %d windows, %d ext events, %d merge ties, %d stalls, mean \
+           lookahead %.1f (max %d)\n"
+          (Machine.Pdes.describe p) perf.Simrt.Perfctr.pdes_windows
+          perf.Simrt.Perfctr.pdes_ext_events perf.Simrt.Perfctr.pdes_merge_events
+          perf.Simrt.Perfctr.pdes_window_stalls
+          (Simrt.Perfctr.mean_lookahead perf)
+          perf.Simrt.Perfctr.pdes_lookahead_max);
     (match trace with
     | Some tr when trace_n > 0 ->
         let shown = min trace_n (Machine.Trace.retained tr) in
@@ -151,7 +188,7 @@ let run_cmd =
   let term =
     Term.(
       const run $ workload_arg $ preset_arg $ cores_arg $ ops_arg $ seed_arg $ retries_arg
-      $ frontend_arg $ trace_arg $ trace_out_arg)
+      $ frontend_arg $ trace_arg $ trace_out_arg $ pdes_term)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark under one configuration.") term
 
@@ -162,19 +199,7 @@ let jobs_arg =
      domain count are clamped (extra domains only add scheduling overhead)."
   in
   let arg = Arg.(value & opt int (Simrt.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~doc) in
-  let clamp n =
-    if n < 1 then begin
-      Printf.eprintf "[suite] --jobs expects a positive integer, got %d\n%!" n;
-      exit 2
-    end;
-    let cap = Domain.recommended_domain_count () in
-    if n > cap then begin
-      Printf.eprintf "[suite] --jobs %d exceeds this host's recommended domain count %d; clamping to %d\n%!" n cap cap;
-      cap
-    end
-    else n
-  in
-  Cmdliner.Term.(const clamp $ arg)
+  Cmdliner.Term.(const (Simrt.Pool.clamp_jobs ~context:"suite") $ arg)
 
 let sched_profile_conv =
   let parse s =
@@ -201,7 +226,7 @@ let sched_arg =
 let suite_cmd =
   let module Experiments = Clear_repro.Experiments in
   let module Suite_cache = Clear_repro.Suite_cache in
-  let suite jobs paper workload check no_cache cache_clear sched =
+  let suite jobs paper workload check no_cache cache_clear sched pdes =
     if cache_clear then begin
       let n = Suite_cache.clear () in
       Printf.eprintf "[suite] cleared %d cache shard(s) from %s\n%!" n Suite_cache.dir
@@ -218,10 +243,15 @@ let suite_cmd =
     in
     let progress label = Printf.eprintf "[suite] %s\n%!" label in
     (* A checked sweep must actually simulate — a cache hit would skip the
-       oracle entirely — so --check bypasses the cache in both directions. *)
+       oracle entirely — so --check bypasses the cache in both directions.
+       Likewise --pdes: run_suite drops the cache so the driver actually
+       runs (shards are keyed by config and could not tell the two apart). *)
     let use_cache = (not no_cache) && not check in
+    (match pdes with
+    | None -> ()
+    | Some p -> Printf.eprintf "[suite] engine driver: %s (cache bypassed)\n%!" (Machine.Pdes.describe p));
     let t0 = Unix.gettimeofday () in
-    let s = Experiments.run_suite ~jobs ~check ~cache:use_cache ~workloads ~progress opts in
+    let s = Experiments.run_suite ~jobs ~check ~cache:use_cache ?pdes ~workloads ~progress opts in
     Printf.eprintf "[suite] done in %.1f s on %d domain(s)%s\n%!"
       (Unix.gettimeofday () -. t0) jobs
       (if check then " (all runs validated by the execution oracle)" else "");
@@ -254,7 +284,7 @@ let suite_cmd =
     (Cmd.info "suite"
        ~doc:"Run the 4-configuration sweep on a pool of domains; print Figure 8 and the headline.")
     Term.(const suite $ jobs_arg $ paper_arg $ workload_filter $ check_arg $ no_cache_arg
-          $ cache_clear_arg $ sched_arg)
+          $ cache_clear_arg $ sched_arg $ pdes_term)
 
 (* ------------------------------------------------------------------ *)
 (* sched: scenario sweep against the symmetric baseline                *)

@@ -38,6 +38,7 @@ val run_suite :
   ?jobs:int ->
   ?check:bool ->
   ?cache:bool ->
+  ?pdes:Machine.Pdes.t ->
   ?workloads:Machine.Workload.t list ->
   ?progress:(string -> unit) ->
   options ->
@@ -53,7 +54,10 @@ val run_suite :
     the executable digest; only missing shards are simulated, and hits are
     spliced back in task order so partially cached sweeps aggregate
     bit-identically. Callers that validate with the oracle should not also
-    pass [~cache:true] — a shard hit would skip validation. *)
+    pass [~cache:true] — a shard hit would skip validation. With [?pdes]
+    every simulation runs under the windowed conservative PDES engine driver
+    (bit-identical results); PDES runs bypass the shard cache entirely so
+    the driver is actually exercised. *)
 
 val config_of_letter : options -> string -> Machine.Config.t
 

@@ -22,8 +22,8 @@ type sim = { cfg : Machine.Config.t; workload : Machine.Workload.t; seed : int }
 
 let sims cfg workload ~seeds = List.map (fun seed -> { cfg; workload; seed }) seeds
 
-let run_sim { cfg; workload; seed } =
-  Machine.Engine.run_workload (Machine.Config.with_seed cfg seed) workload
+let run_sim ?pdes { cfg; workload; seed } =
+  Machine.Engine.run_workload ?pdes (Machine.Config.with_seed cfg seed) workload
 
 exception Check_failed of string
 
@@ -36,19 +36,19 @@ let static_gate_of_config (cfg : Machine.Config.t) =
        ~sq_entries:cfg.sq_entries ~rob_entries:cfg.rob_entries ~crt_entries:cfg.crt_entries
        ~crt_ways:cfg.crt_ways cfg.mem_params)
 
-let run_sim_checked { cfg; workload; seed } =
+let run_sim_checked ?pdes { cfg; workload; seed } =
   let cfg = Machine.Config.with_seed cfg seed in
   let collector = Check.Collector.create ~cores:cfg.Machine.Config.cores in
   let engine = Machine.Engine.create ~check:collector cfg workload in
-  let stats = Machine.Engine.run engine in
+  let stats = Machine.Engine.run ?pdes engine in
   let final = Mem.Store.snapshot (Machine.Engine.store engine) in
   (stats, Check.Verdict.evaluate ~static_gate:(static_gate_of_config cfg) collector ~final)
 
 (* Pool-friendly variant: same signature as [run_sim], turns a failed verdict
    into an exception (which [Simrt.Pool.parallel_map] propagates to the
    submitting domain). *)
-let run_sim_enforce sim =
-  let stats, verdict = run_sim_checked sim in
+let run_sim_enforce ?pdes sim =
+  let stats, verdict = run_sim_checked ?pdes sim in
   if Check.Verdict.ok verdict then stats
   else
     raise
@@ -57,7 +57,7 @@ let run_sim_enforce sim =
             (Machine.Config.preset_letter sim.cfg) sim.seed
             (Check.Verdict.to_string verdict)))
 
-let runner ~check = if check then run_sim_enforce else run_sim
+let runner ?pdes ~check = if check then run_sim_enforce ?pdes else run_sim ?pdes
 
 let tmean ~trim xs = Summary.trimmed_mean ~trim xs
 
@@ -124,12 +124,12 @@ let best = function
   | [] -> invalid_arg "Run.best: empty candidate list"
   | hd :: tl -> List.fold_left (fun best m -> if m.cycles < best.cycles then m else best) hd tl
 
-let measure ?(jobs = 1) ?(check = false) (cfg : Machine.Config.t) (workload : Machine.Workload.t)
-    ~seeds ~trim =
-  let runs = Simrt.Pool.parallel_map ~jobs (runner ~check) (sims cfg workload ~seeds) in
+let measure ?(jobs = 1) ?(check = false) ?pdes (cfg : Machine.Config.t)
+    (workload : Machine.Workload.t) ~seeds ~trim =
+  let runs = Simrt.Pool.parallel_map ~jobs (runner ?pdes ~check) (sims cfg workload ~seeds) in
   of_stats cfg workload ~trim runs
 
-let measure_best_retries ?(jobs = 1) ?(check = false) cfg workload ~seeds ~trim ~retry_choices =
+let measure_best_retries ?(jobs = 1) ?(check = false) ?pdes cfg workload ~seeds ~trim ~retry_choices =
   match retry_choices with
   | [] -> invalid_arg "measure_best_retries: empty retry_choices"
   | choices ->
@@ -138,7 +138,7 @@ let measure_best_retries ?(jobs = 1) ?(check = false) cfg workload ~seeds ~trim 
           (fun n -> sims (Machine.Config.with_retries cfg n) workload ~seeds)
           choices
       in
-      let results = Array.of_list (Simrt.Pool.parallel_map ~jobs (runner ~check) tasks) in
+      let results = Array.of_list (Simrt.Pool.parallel_map ~jobs (runner ?pdes ~check) tasks) in
       let per_seed = List.length seeds in
       let candidates =
         List.mapi

@@ -39,9 +39,10 @@ val sims : Machine.Config.t -> Machine.Workload.t -> seeds:int list -> sim list
 (** The per-seed task list of one (configuration, workload) pair, in seed
     order. *)
 
-val run_sim : sim -> Machine.Stats.t
+val run_sim : ?pdes:Machine.Pdes.t -> sim -> Machine.Stats.t
 (** Run one simulation to completion. Pure with respect to global state:
-    safe to call from several domains at once. *)
+    safe to call from several domains at once. [?pdes] selects the windowed
+    conservative PDES engine driver; output is bit-identical either way. *)
 
 exception Check_failed of string
 (** Raised by checked runs when an oracle fails; the payload identifies the
@@ -51,16 +52,16 @@ val static_gate_of_config : Machine.Config.t -> Staticcheck.Gate.t
 (** A static soundness gate matching the configuration's table geometry
     (ALT/SQ/ROB/CRT sizes and cache parameters). *)
 
-val run_sim_checked : sim -> Machine.Stats.t * Check.Verdict.t
+val run_sim_checked : ?pdes:Machine.Pdes.t -> sim -> Machine.Stats.t * Check.Verdict.t
 (** Run one simulation with witness capture and evaluate all four oracles
     (serializability, sequential replay, lock safety, static soundness
     gate) on the result. The stats are bit-identical to {!run_sim}'s. *)
 
-val run_sim_enforce : sim -> Machine.Stats.t
+val run_sim_enforce : ?pdes:Machine.Pdes.t -> sim -> Machine.Stats.t
 (** Like {!run_sim} but raises {!Check_failed} unless the verdict is clean.
     Drop-in replacement for {!run_sim} in pool task lists. *)
 
-val runner : check:bool -> sim -> Machine.Stats.t
+val runner : ?pdes:Machine.Pdes.t -> check:bool -> sim -> Machine.Stats.t
 (** {!run_sim_enforce} when [check], {!run_sim} otherwise. *)
 
 val of_stats : Machine.Config.t -> Machine.Workload.t -> trim:int -> Machine.Stats.t list -> t
@@ -75,6 +76,7 @@ val best : t list -> t
 val measure :
   ?jobs:int ->
   ?check:bool ->
+  ?pdes:Machine.Pdes.t ->
   Machine.Config.t ->
   Machine.Workload.t ->
   seeds:int list ->
@@ -88,6 +90,7 @@ val measure :
 val measure_best_retries :
   ?jobs:int ->
   ?check:bool ->
+  ?pdes:Machine.Pdes.t ->
   Machine.Config.t ->
   Machine.Workload.t ->
   seeds:int list ->

@@ -33,11 +33,18 @@ val create : ?trace:Trace.t -> ?check:Check.Collector.t -> Config.t -> Workload.
     event stream. Capture has no effect on simulated behaviour: results are
     bit-identical with and without it. *)
 
-val run : ?max_cycles:int -> t -> Stats.t
+val run : ?max_cycles:int -> ?pdes:Pdes.t -> t -> Stats.t
 (** Simulate until every thread finished its operations. Raises [Failure] if
     [max_cycles] (default 4e9) elapse first — a livelock guard, not an
     expected outcome. The returned statistics include the total cycle count
-    of the parallel phase. *)
+    of the parallel phase.
+
+    With [?pdes] the windowed conservative PDES driver (DESIGN.md §12)
+    replaces the global event loop: cores drain private event bursts bounded
+    by conservative interaction bounds derived from static footprints
+    ({!Staticcheck.Footprint}) with dynamic next-event times as the
+    fallback. Output is bit-identical to the sequential driver for every
+    window size — the option trades scheduling overhead, never accuracy. *)
 
 val store : t -> Mem.Store.t
 (** The backing store, for post-run invariant checks in tests. *)
@@ -47,5 +54,5 @@ val perfctr : t -> Simrt.Perfctr.t
     instrumentation only — never part of the simulated statistics, so reading
     (or ignoring) them cannot affect simulation output. *)
 
-val run_workload : Config.t -> Workload.t -> Stats.t
+val run_workload : ?pdes:Pdes.t -> Config.t -> Workload.t -> Stats.t
 (** [create] + [run]. *)

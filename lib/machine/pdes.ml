@@ -1,0 +1,7 @@
+type t = { window : int }
+
+let unbounded = { window = max_int }
+
+let windowed n = { window = max 1 n }
+
+let describe t = if t.window = max_int then "pdes(window=inf)" else Printf.sprintf "pdes(window=%d)" t.window

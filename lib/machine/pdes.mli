@@ -1,0 +1,20 @@
+(** Configuration of the windowed conservative PDES engine driver
+    (DESIGN.md §12).
+
+    [window] caps how far (in simulated cycles) one core may run ahead of
+    the globally earliest pending event inside a single burst, on top of the
+    conservative interaction bounds the driver derives from static
+    footprints and dynamic next-event times. The bound never affects
+    simulation output — every window size produces output bit-identical to
+    the sequential engine — only how much bookkeeping a burst may
+    accumulate before the driver re-synchronises. *)
+
+type t = { window : int }  (** max lookahead distance per burst, in cycles *)
+
+val unbounded : t
+(** No cap beyond the conservative interaction bounds ([max_int]). *)
+
+val windowed : int -> t
+(** Cap bursts at [max 1 n] cycles of lookahead. *)
+
+val describe : t -> string

@@ -81,3 +81,16 @@ let pop t =
   end
 
 let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let pop_until t ~time:horizon =
+  (* One [pop] per drained event, but no per-event [peek] round-trips: the
+     windowed PDES driver calls this once per window instead of peeking
+     before every pop. *)
+  let rec drain acc =
+    if t.size = 0 || t.heap.(0).time > horizon then List.rev acc
+    else
+      match pop t with
+      | Some ev -> drain (ev :: acc)
+      | None -> List.rev acc
+  in
+  drain []

@@ -22,4 +22,11 @@ val pop : 'a t -> (int * 'a) option
 val peek_time : 'a t -> int option
 (** Time of the earliest event without removing it. *)
 
+val pop_until : 'a t -> time:int -> (int * 'a) list
+(** [pop_until q ~time] removes and returns every event scheduled at or
+    before [time], in exactly the order repeated {!pop} calls would yield
+    ((time, insertion) order). Batched drain for windowed consumers: the
+    horizon is tested against the heap root, so events beyond it pay no heap
+    operation at all. *)
+
 val clear : 'a t -> unit

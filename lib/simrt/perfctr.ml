@@ -8,6 +8,12 @@ type t = {
   mutable aborts : int;
   mutable commits : int;
   mutable allocated_words : int;
+  mutable pdes_windows : int;
+  mutable pdes_window_stalls : int;
+  mutable pdes_merge_events : int;
+  mutable pdes_ext_events : int;
+  mutable pdes_lookahead_total : int;
+  mutable pdes_lookahead_max : int;
 }
 
 let create () =
@@ -21,6 +27,12 @@ let create () =
     aborts = 0;
     commits = 0;
     allocated_words = 0;
+    pdes_windows = 0;
+    pdes_window_stalls = 0;
+    pdes_merge_events = 0;
+    pdes_ext_events = 0;
+    pdes_lookahead_total = 0;
+    pdes_lookahead_max = 0;
   }
 
 let reset t =
@@ -32,7 +44,13 @@ let reset t =
   t.store_forward_scans <- 0;
   t.aborts <- 0;
   t.commits <- 0;
-  t.allocated_words <- 0
+  t.allocated_words <- 0;
+  t.pdes_windows <- 0;
+  t.pdes_window_stalls <- 0;
+  t.pdes_merge_events <- 0;
+  t.pdes_ext_events <- 0;
+  t.pdes_lookahead_total <- 0;
+  t.pdes_lookahead_max <- 0
 
 let merge_into ~dst src =
   dst.sims <- dst.sims + src.sims;
@@ -43,7 +61,17 @@ let merge_into ~dst src =
   dst.store_forward_scans <- dst.store_forward_scans + src.store_forward_scans;
   dst.aborts <- dst.aborts + src.aborts;
   dst.commits <- dst.commits + src.commits;
-  dst.allocated_words <- dst.allocated_words + src.allocated_words
+  dst.allocated_words <- dst.allocated_words + src.allocated_words;
+  dst.pdes_windows <- dst.pdes_windows + src.pdes_windows;
+  dst.pdes_window_stalls <- dst.pdes_window_stalls + src.pdes_window_stalls;
+  dst.pdes_merge_events <- dst.pdes_merge_events + src.pdes_merge_events;
+  dst.pdes_ext_events <- dst.pdes_ext_events + src.pdes_ext_events;
+  dst.pdes_lookahead_total <- dst.pdes_lookahead_total + src.pdes_lookahead_total;
+  dst.pdes_lookahead_max <- max dst.pdes_lookahead_max src.pdes_lookahead_max
+
+let mean_lookahead t =
+  if t.pdes_windows = 0 then 0.
+  else float_of_int t.pdes_lookahead_total /. float_of_int t.pdes_windows
 
 let to_list t =
   [
@@ -56,4 +84,10 @@ let to_list t =
     ("aborts", t.aborts);
     ("commits", t.commits);
     ("allocated_words", t.allocated_words);
+    ("pdes_windows", t.pdes_windows);
+    ("pdes_window_stalls", t.pdes_window_stalls);
+    ("pdes_merge_events", t.pdes_merge_events);
+    ("pdes_ext_events", t.pdes_ext_events);
+    ("pdes_lookahead_total", t.pdes_lookahead_total);
+    ("pdes_lookahead_max", t.pdes_lookahead_max);
   ]

@@ -18,6 +18,16 @@ type t = {
   mutable aborts : int;
   mutable commits : int;
   mutable allocated_words : int;  (** OCaml words allocated during [Engine.run] *)
+  mutable pdes_windows : int;  (** lookahead bursts executed by the PDES driver *)
+  mutable pdes_window_stalls : int;
+      (** extension attempts cut short: an ineligible peer, an unresolvable
+          footprint, or a dynamic pre-check (conflict mask, mode change) *)
+  mutable pdes_merge_events : int;  (** events executed by the global merged selection *)
+  mutable pdes_ext_events : int;
+      (** events executed past the dynamic next-event bound, i.e. justified
+          only by the static-footprint insulation argument *)
+  mutable pdes_lookahead_total : int;  (** summed per-burst lookahead distance (cycles) *)
+  mutable pdes_lookahead_max : int;  (** largest single-burst lookahead (cycles) *)
 }
 
 val create : unit -> t
@@ -25,6 +35,10 @@ val create : unit -> t
 val reset : t -> unit
 
 val merge_into : dst:t -> t -> unit
+(** Counters add; [pdes_lookahead_max] takes the maximum. *)
+
+val mean_lookahead : t -> float
+(** [pdes_lookahead_total / pdes_windows]; 0 when no window ran. *)
 
 val to_list : t -> (string * int) list
 (** Stable name/value pairs for reporting. *)

@@ -14,6 +14,20 @@ type t = {
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
+let clamp_jobs ?(context = "pool") n =
+  if n < 1 then begin
+    Printf.eprintf "[%s] --jobs expects a positive integer, got %d\n%!" context n;
+    exit 2
+  end;
+  let cap = Domain.recommended_domain_count () in
+  if n > cap then begin
+    Printf.eprintf
+      "[%s] --jobs %d exceeds this host's recommended domain count %d; clamping to %d\n%!" context
+      n cap cap;
+    cap
+  end
+  else n
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   while Queue.is_empty t.queue && not t.stopping do

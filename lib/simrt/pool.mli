@@ -16,6 +16,14 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1] (the submitting domain keeps a
     core), never below 1. *)
 
+val clamp_jobs : ?context:string -> int -> int
+(** Validate a user-supplied [--jobs] value: exits with status 2 (after an
+    error line tagged [context]) when it is not positive, clamps it to the
+    host's recommended domain count with a warning when it exceeds it (extra
+    domains only add scheduling overhead), and returns it unchanged
+    otherwise. Shared by the bench harness and the CLI so the two front ends
+    cannot drift. *)
+
 val create : jobs:int -> t
 (** Spawn [max 1 jobs] worker domains, idle until work arrives. *)
 

@@ -1,0 +1,114 @@
+module I = Isa.Instr
+
+(* No path to Halt: the region cannot commit. Large but addition-safe. *)
+let never = max_int / 4
+
+(* Expanding a site interval to an explicit line set is only worthwhile for
+   small footprints (the workloads' regions touch a handful of lines); a
+   window-sized expansion would cost more than the lookahead it buys. *)
+let line_cap = 64
+
+type t = {
+  sites : Absint.site list;
+  resolvable : bool;
+  mth : int array;  (* per-pc min cycles to the Halt step *)
+}
+
+(* Lower bound on the event-queue delta charged for executing [instr]: the
+   engine schedules the next event at [time + max 1 latency] and every
+   latency is at least the instruction's base cost (memory latency and stall
+   re-issues only add cycles). *)
+let cost_lb instr = max 1 (I.base_cost instr)
+
+let succs body i =
+  match body.(i) with
+  | I.Halt -> []
+  | I.Jmp target -> [ target ]
+  | I.Br { target; _ } -> [ target; i + 1 ]
+  | I.Ld _ | I.St _ | I.Mov _ | I.Binop _ | I.Nop -> [ i + 1 ]
+
+(* Shortest entry-to-Halt suffix distance, by fixpoint over the (possibly
+   cyclic) CFG. Bodies are tens of instructions, so the quadratic worst case
+   is irrelevant. *)
+let min_to_halt body =
+  let n = Array.length body in
+  let dist = Array.make n never in
+  Array.iteri (fun i instr -> if instr = I.Halt then dist.(i) <- 0) body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      if body.(i) <> I.Halt then begin
+        let best =
+          List.fold_left
+            (fun acc j -> if j >= 0 && j < n then min acc dist.(j) else acc)
+            never (succs body i)
+        in
+        let d = if best >= never then never else cost_lb body.(i) + best in
+        if d < dist.(i) then begin
+          dist.(i) <- d;
+          changed := true
+        end
+      end
+    done
+  done;
+  dist
+
+let of_summary (s : Absint.summary) =
+  {
+    sites = s.Absint.sites;
+    resolvable =
+      List.for_all
+        (fun (site : Absint.site) -> site.Absint.component <> Absint.Cany)
+        s.Absint.sites;
+    mth = min_to_halt s.Absint.body;
+  }
+
+let of_ar ar = of_summary (Absint.analyze_ar ar)
+
+let resolvable t = t.resolvable
+
+(* Mirror of [Absint.line_in_sites]'s arithmetic (lines are [addr asr 3],
+   unbound registers are 0), but producing the explicit line set instead of
+   a membership test. *)
+let lines_for t ~init =
+  if not t.resolvable then None
+  else begin
+    let lookup r = match List.assoc_opt r init with Some v -> v | None -> 0 in
+    let tbl = Hashtbl.create 32 in
+    let ok = ref true in
+    List.iter
+      (fun (site : Absint.site) ->
+        if !ok then
+          let range =
+            match site.Absint.component with
+            | Absint.Cany -> None
+            | Absint.Cwords { lo; hi } -> Some (lo asr 3, hi asr 3)
+            | Absint.Crel { reg; lo; hi } ->
+                let base = lookup reg in
+                Some ((base + lo) asr 3, (base + hi) asr 3)
+          in
+          match range with
+          | None -> ok := false
+          | Some (llo, lhi) ->
+              if llo < 0 || lhi < llo || lhi - llo >= line_cap then ok := false
+              else
+                for l = llo to lhi do
+                  if !ok then begin
+                    if not (Hashtbl.mem tbl l) then Hashtbl.replace tbl l ();
+                    if Hashtbl.length tbl > line_cap then ok := false
+                  end
+                done)
+      t.sites;
+    if not !ok then None
+    else begin
+      let lines = Hashtbl.fold (fun l () acc -> l :: acc) tbl [] in
+      let arr = Array.of_list lines in
+      Array.sort compare arr;
+      Some arr
+    end
+  end
+
+let min_cycles_to_halt t ~pc = if pc < 0 || pc >= Array.length t.mth then 0 else t.mth.(pc)
+
+let min_cycles_from_entry t = min_cycles_to_halt t ~pc:0

@@ -1,0 +1,45 @@
+(** Concrete lookahead bounds for the PDES engine, derived from {!Absint}.
+
+    The conservative PDES driver (DESIGN.md §12) lets one core run ahead of
+    its peers only while it can prove no shared-line interaction is possible.
+    Two static artefacts make that proof cheap at run time:
+
+    - {!lines_for}: the exact set of cache lines one execution of the region
+      may touch, obtained by binding the summary's per-site address
+      components with the operation's initial registers. This is sound by
+      the PR-4 gate invariant (every dynamically touched line lies in some
+      site component under the same binding — {!Absint.line_in_sites});
+      regions with an unbounded site ([Cany], i.e. an indirection the
+      interval domain lost) resolve to [None] and simply get no lookahead
+      beyond the dynamic next-event bound.
+    - {!min_cycles_to_halt}: a per-pc lower bound on the simulated cycles
+      between executing the instruction at [pc] and executing [Halt] (the
+      commit step), i.e. the earliest a peer mid-region could possibly
+      commit and move on to non-insulated work. *)
+
+type t
+
+val of_ar : Isa.Program.ar -> t
+(** Analyze the region once; the result is immutable and shareable. *)
+
+val of_summary : Absint.summary -> t
+(** Same, from an existing summary (avoids re-running the fixpoint). *)
+
+val resolvable : t -> bool
+(** All memory sites have bounded components — [lines_for] can succeed. *)
+
+val lines_for : t -> init:(Isa.Instr.reg * int) list -> int array option
+(** Sorted, distinct lines one execution may touch once initial registers
+    are bound by [init] (unbound registers read as 0, matching
+    [Regfile.load_initial] on a reset file). [None] when any site is
+    unbounded, resolves to a negative line, or the expansion exceeds a small
+    cap — callers must then fall back to dynamic bounds. *)
+
+val min_cycles_to_halt : t -> pc:int -> int
+(** Lower bound on cycles from (and including) the execution of the
+    instruction at [pc] until the [Halt] step executes; 0 at [Halt] itself
+    and for out-of-range [pc] (no claim). When no path from [pc] reaches
+    [Halt] the bound is a large sentinel (the region cannot commit). *)
+
+val min_cycles_from_entry : t -> int
+(** [min_cycles_to_halt ~pc:0]. *)

@@ -1,0 +1,270 @@
+(* PDES determinism net: the windowed conservative driver (DESIGN.md §12)
+   must reproduce the sequential engine bit for bit — same stats fingerprint,
+   same hardware-counter set, same final memory image — at every window size,
+   across the whole engine-golden and sched-golden grids, on random
+   workloads, and under the execution oracles. One positive test asserts the
+   extended-burst machinery actually fires (a determinism net over a path
+   that never executes would prove nothing). *)
+
+module Engine = Machine.Engine
+module Config = Machine.Config
+module Pdes = Machine.Pdes
+module Stats = Machine.Stats
+module Workload = Machine.Workload
+module Store = Mem.Store
+module Perfctr = Simrt.Perfctr
+module A = Isa.Asm
+module I = Isa.Instr
+module P = Isa.Program
+module Scenarios = Sched.Scenarios
+
+let windows = [ ("w1", Pdes.windowed 1); ("w16", Pdes.windowed 16); ("w256", Pdes.windowed 256); ("winf", Pdes.unbounded) ]
+
+let presets =
+  [ ("B", Config.baseline); ("P", Config.power_tm); ("C", Config.clear_rw); ("W", Config.clear_power) ]
+
+let fingerprint stats =
+  ( Stats.total_cycles stats,
+    Stats.commits stats,
+    Stats.aborts stats,
+    Stats.instrs stats,
+    Stats.wasted_instrs stats )
+
+(* Run one config+workload sequentially and under PDES, demanding an
+   identical fingerprint, counter set and memory image. Returns the PDES
+   engine's perf counters (for the extension-fires test). *)
+let assert_identical ~what cfg workload pdes =
+  let seq = Engine.create cfg workload in
+  let seq_stats = Engine.run seq in
+  let par = Engine.create cfg workload in
+  let par_stats = Engine.run ~pdes par in
+  let sf = fingerprint seq_stats and pf = fingerprint par_stats in
+  if sf <> pf then begin
+    let a, b, c, d, e = sf and a', b', c', d', e' = pf in
+    Alcotest.failf "%s: sequential (%d,%d,%d,%d,%d) <> pdes (%d,%d,%d,%d,%d)" what a b c d e a' b'
+      c' d' e'
+  end;
+  let sc = Simrt.Counter.to_list (Stats.counters seq_stats) in
+  let pc = Simrt.Counter.to_list (Stats.counters par_stats) in
+  if sc <> pc then Alcotest.failf "%s: hardware counter sets differ" what;
+  (match Store.image_diff (Store.snapshot (Engine.store seq)) (Store.snapshot (Engine.store par)) with
+  | None -> ()
+  | Some (addr, _, sv, pv) ->
+      Alcotest.failf "%s: memory images differ at %d (seq %d, pdes %d)" what addr sv pv);
+  Engine.perfctr par
+
+(* ------------------------------------------------------------------ *)
+(* The engine-golden grid (test_engine.ml's fingerprint table): every
+   workload x preset x seed, at every window size. *)
+
+let test_engine_grid (wname, pname, pdes) () =
+  List.iter
+    (fun (letter, preset) ->
+      List.iter
+        (fun seed ->
+          let cfg =
+            Config.with_seed { preset with Config.cores = 4; ops_per_thread = 40; max_retries = 4 } seed
+          in
+          let what = Printf.sprintf "%s/%s seed %d %s" wname letter seed pname in
+          ignore (assert_identical ~what cfg (Workloads.Registry.find wname) pdes))
+        [ 3; 5; 7 ])
+    presets
+
+(* ------------------------------------------------------------------ *)
+(* The sched-golden grid (test_sched.ml's scenario table): every scheduler
+   scenario x preset x seed on the stack benchmark, at every window size. *)
+
+let test_sched_grid (pname, pdes) () =
+  let stack = Workloads.Registry.find "stack" in
+  List.iter
+    (fun (sname, profile) ->
+      List.iter
+        (fun (letter, preset) ->
+          List.iter
+            (fun seed ->
+              let cfg =
+                Config.with_sched
+                  { preset with Config.cores = 4; ops_per_thread = 40; max_retries = 4; seed }
+                  profile
+              in
+              let what = Printf.sprintf "sched %s/%s seed %d %s" sname letter seed pname in
+              ignore (assert_identical ~what cfg stack pdes))
+            [ 3; 5; 7 ])
+        presets)
+    Scenarios.all
+
+(* ------------------------------------------------------------------ *)
+(* Extended bursts must actually fire: per-core private counters give every
+   op a resolvable one-line footprint, all disjoint across cores, so the
+   insulation proof succeeds whenever a leader is mid-speculation. *)
+
+let private_counters_workload () =
+  let ar =
+    P.build_ar ~id:0 ~name:"bump" (fun b ->
+        A.ld b ~dst:8 ~base:(I.Reg 0) ~region:"ctr" ();
+        A.add b ~dst:8 (I.Reg 8) (I.Imm 1);
+        A.st b ~base:(I.Reg 0) ~src:(I.Reg 8) ~region:"ctr" ();
+        A.halt b)
+  in
+  {
+    Workload.name = "private-counters";
+    description = "per-core disjoint counters (PDES extension test)";
+    ars = [ ar ];
+    memory_words = 1 lsl 16;
+    setup = (fun _ _ -> ());
+    make_driver =
+      (fun ~tid ~threads:_ _ _ () ->
+        (* one line per core, far apart: distinct lines and L3 sets *)
+        Workload.op ar [ (0, 64 + (tid * 1024)) ]);
+  }
+
+let test_extension_fires () =
+  let w = private_counters_workload () in
+  let cfg = { Config.baseline with Config.cores = 4; ops_per_thread = 50; memory_words = 1 lsl 16 } in
+  let perf = assert_identical ~what:"private counters" cfg w Pdes.unbounded in
+  Alcotest.(check bool)
+    (Printf.sprintf "extended bursts fired (got %d)" perf.Perfctr.pdes_ext_events)
+    true
+    (perf.Perfctr.pdes_ext_events > 0);
+  Alcotest.(check bool) "windows counted" true (perf.Perfctr.pdes_windows > 0);
+  Alcotest.(check bool) "lookahead accumulated" true (perf.Perfctr.pdes_lookahead_total > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Random workloads: loop-free ARs over a closed pointer window (the
+   test_fuzz discipline), swept across presets and scheduler profiles. *)
+
+let window_base = 256
+let window_words = 32
+
+let gen_ar ~rng ~id =
+  let gi bound = 1 + Random.State.int rng bound in
+  let n = 3 + Random.State.int rng 10 in
+  let body =
+    Array.init (n + 1) (fun i ->
+        if i = n then I.Halt
+        else
+          match Random.State.int rng 6 with
+          | 0 -> I.Ld { dst = 4 + Random.State.int rng 4; base = I.Reg (Random.State.int rng 4); off = Random.State.int rng 8; region = "w" }
+          | 1 ->
+              I.St
+                {
+                  base = I.Reg (Random.State.int rng 4);
+                  off = Random.State.int rng 8;
+                  src = I.Reg (4 + Random.State.int rng 4);
+                  region = "w";
+                }
+          | 2 -> I.Binop { op = I.Add; dst = 4 + Random.State.int rng 4; a = I.Reg (4 + Random.State.int rng 4); b = I.Imm (gi 100) }
+          | 3 -> I.Mov { dst = 4 + Random.State.int rng 4; src = I.Imm (gi 1000) }
+          | 4 ->
+              let target = i + 1 + Random.State.int rng (n - i) in
+              I.Br { cond = I.Lt; a = I.Reg (4 + Random.State.int rng 4); b = I.Imm (gi 50); target }
+          | _ -> I.Nop)
+  in
+  P.make_ar ~id ~name:(Printf.sprintf "rnd%d" id) body
+
+let gen_workload ~seed =
+  let rng = Random.State.make [| 0x9de5; seed |] in
+  let ars = List.init 3 (fun id -> gen_ar ~rng ~id) in
+  let arr = Array.of_list ars in
+  {
+    Workload.name = Printf.sprintf "rnd-%d" seed;
+    description = "random loop-free regions (PDES identity property)";
+    ars;
+    memory_words = window_base + window_words + 64;
+    setup =
+      (fun store rng ->
+        for i = 0 to window_words - 1 do
+          Store.write store (window_base + i) (window_base + Simrt.Rng.int rng window_words)
+        done);
+    make_driver =
+      (fun ~tid:_ ~threads:_ _ rng () ->
+        let ar = arr.(Simrt.Rng.int rng (Array.length arr)) in
+        let inits = List.init 4 (fun r -> (r, window_base + Simrt.Rng.int rng window_words)) in
+        Workload.op ar inits);
+  }
+
+let qcheck_random_identity =
+  QCheck.Test.make ~name:"random workloads: pdes == sequential" ~count:12
+    QCheck.(pair (int_bound 1000) (int_bound 2))
+    (fun (seed, prof_idx) ->
+      let w = gen_workload ~seed in
+      let profile =
+        List.nth [ Scenarios.symmetric; Scenarios.numa2x; Scenarios.hot_core ] prof_idx
+      in
+      List.iter
+        (fun (letter, preset) ->
+          let cfg =
+            Config.with_sched
+              { preset with Config.cores = 4; ops_per_thread = 12; memory_words = 1 lsl 16; seed = 11 + seed }
+              profile
+          in
+          List.iter
+            (fun (pname, pdes) ->
+              let what = Printf.sprintf "rnd seed %d %s/%s %s" seed profile.Sched.Profile.name letter pname in
+              ignore (assert_identical ~what cfg w pdes))
+            [ ("w16", Pdes.windowed 16); ("winf", Pdes.unbounded) ])
+        presets;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* The four execution oracles stay green under PDES (witness capture is an
+   observer, so extension is disabled and windowed basic bursts carry the
+   run — exactly the fallback path the oracles must also cover). *)
+
+let test_oracles_under_pdes () =
+  List.iter
+    (fun seed ->
+      let w = gen_workload ~seed in
+      List.iter
+        (fun (letter, preset) ->
+          let cfg = { preset with Config.cores = 4; ops_per_thread = 10; memory_words = 1 lsl 16 } in
+          let sim = { Clear_repro.Run.cfg; workload = w; seed = 100 + seed } in
+          let seq_stats, seq_verdict = Clear_repro.Run.run_sim_checked sim in
+          let pdes_stats, pdes_verdict =
+            Clear_repro.Run.run_sim_checked ~pdes:(Pdes.windowed 64) sim
+          in
+          if not (Check.Verdict.ok pdes_verdict) then
+            Alcotest.failf "seed %d preset %s: oracle failed under PDES:\n%s" seed letter
+              (Check.Verdict.to_string pdes_verdict);
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d preset %s: sequential oracle clean" seed letter)
+            true (Check.Verdict.ok seq_verdict);
+          if fingerprint seq_stats <> fingerprint pdes_stats then
+            Alcotest.failf "seed %d preset %s: checked stats differ under PDES" seed letter)
+        presets)
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let engine_grid =
+    List.concat_map
+      (fun wname ->
+        List.map
+          (fun (pname, pdes) ->
+            Alcotest.test_case (Printf.sprintf "%s @ %s" wname pname) `Slow
+              (test_engine_grid (wname, pname, pdes)))
+          windows)
+      (* hashmap/bitcoin/bst are the engine-golden grid; mwobject and
+         arrayswap have resolvable (register-relative / immutable)
+         footprints, so they stress the extended-burst path on real
+         workloads rather than only the basic one. *)
+      [ "hashmap"; "bitcoin"; "bst"; "mwobject"; "arrayswap" ]
+  in
+  let sched_grid =
+    List.map
+      (fun (pname, pdes) ->
+        Alcotest.test_case (Printf.sprintf "sched grid @ %s" pname) `Slow
+          (test_sched_grid (pname, pdes)))
+      windows
+  in
+  Alcotest.run "pdes"
+    [
+      ("engine-grid", engine_grid);
+      ("sched-grid", sched_grid);
+      ( "extension",
+        [ Alcotest.test_case "extended bursts fire and stay identical" `Quick test_extension_fires ] );
+      ("random", [ QCheck_alcotest.to_alcotest qcheck_random_identity ]);
+      ( "oracles",
+        [ Alcotest.test_case "all four oracles green under PDES" `Slow test_oracles_under_pdes ] );
+    ]

@@ -155,6 +155,32 @@ let prop_queue_time_seq_sorted =
       in
       popped = expected)
 
+(* pop_until must be observationally equal to repeated pop while the head
+   is at or before the horizon — same events, same order — and must leave
+   everything later untouched. *)
+let prop_queue_pop_until =
+  QCheck.Test.make ~name:"pop_until == repeated pop up to the horizon" ~count:300
+    QCheck.(pair (list (int_range 0 30)) (int_range 0 30))
+    (fun (times, horizon) ->
+      let fill () =
+        let q = Event_queue.create () in
+        List.iteri (fun i t -> Event_queue.push q ~time:t (t, i)) times;
+        q
+      in
+      let qa = fill () and qb = fill () in
+      let batch = Event_queue.pop_until qa ~time:horizon in
+      let rec drain acc =
+        match Event_queue.peek_time qb with
+        | Some t when t <= horizon -> (
+            match Event_queue.pop qb with Some ev -> drain (ev :: acc) | None -> List.rev acc)
+        | _ -> List.rev acc
+      in
+      let manual = drain [] in
+      let rec rest q acc =
+        match Event_queue.pop q with Some ev -> rest q (ev :: acc) | None -> List.rev acc
+      in
+      batch = manual && rest qa [] = rest qb [])
+
 (* Interleaved pushes and pops must preserve the same invariant: what pops
    next is always the earliest (time, seq) of what is currently queued. *)
 let prop_queue_interleaved =
@@ -418,7 +444,13 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "clear" `Quick test_queue_clear;
         ]
-        @ qsuite [ prop_queue_sorted; prop_queue_time_seq_sorted; prop_queue_interleaved ] );
+        @ qsuite
+            [
+              prop_queue_sorted;
+              prop_queue_time_seq_sorted;
+              prop_queue_pop_until;
+              prop_queue_interleaved;
+            ] );
       ( "pool",
         [
           Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
