@@ -8,6 +8,7 @@
    `clear_sim check -w bst -c W`            validate runs with the execution oracle
    `clear_sim analyze [-w bst] [--json]`    static AR verifier (footprints, fits, envelope)
    `clear_sim lint [--json]`                lint all AR bodies (exit 1 on errors)
+   `clear_sim openloop --loads 30,60,120`   open-system sweep: tail latency vs offered load
    `clear_sim config -c B`                  print the machine configuration *)
 
 open Cmdliner
@@ -669,6 +670,126 @@ let lint_cmd =
              Exits non-zero only on error-severity findings.")
     Term.(const lint $ json_arg $ demo_arg)
 
+(* ------------------------------------------------------------------ *)
+(* openloop: open-system sweep — tail latency vs offered load          *)
+
+let openloop_cmd =
+  let module Sweep = Openloop.Sweep in
+  let d = Sweep.default_options in
+  let run json jobs workload keys theta loads requests process_name heat cap configs retries
+      cores seed check pdes =
+    let process =
+      match String.lowercase_ascii process_name with
+      | "poisson" -> Machine.Config.Open_poisson
+      | "burst" -> Machine.Config.Open_burst { heat }
+      | other ->
+          Printf.eprintf "unknown arrival process %s (expected poisson or burst)\n" other;
+          exit 2
+    in
+    let configs =
+      (* ops_per_thread is dead in open mode (the queue, not an op count,
+         decides when cores stop); keep the preset default. *)
+      List.map
+        (fun letter ->
+          config_of letter ~cores ~ops:Machine.Config.default.Machine.Config.ops_per_thread ~seed
+            ~retries)
+        configs
+    in
+    let o =
+      {
+        Sweep.workload;
+        keys;
+        theta;
+        loads;
+        requests;
+        process;
+        queue_cap = cap;
+        configs;
+        seed;
+        jobs;
+        check;
+        pdes;
+      }
+    in
+    let results =
+      match Sweep.run o with
+      | results -> results
+      | exception Not_found ->
+          Printf.eprintf "unknown workload %s; try `clear_sim list`\n" workload;
+          exit 2
+    in
+    if json then print_endline (Report.Json.to_string_pretty (Sweep.to_json o results))
+    else Report.Table.print (Sweep.table results);
+    if List.exists (fun (r : Openloop.Driver.t) -> r.Openloop.Driver.checked && not r.oracle_ok) results
+    then begin
+      Printf.eprintf "[openloop] execution-oracle violation at a checked load point\n%!";
+      exit 1
+    end
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  let keys_arg =
+    Arg.(value & opt int d.Sweep.keys
+         & info [ "keys" ]
+             ~doc:"Keyed-structure entries (sized well past the L3 so Zipf popularity, not \
+                   cache residency, decides hotness).")
+  in
+  let theta_arg =
+    Arg.(value & opt float d.Sweep.theta & info [ "theta" ] ~doc:"Zipf popularity skew.")
+  in
+  let loads_arg =
+    Arg.(value & opt (list float) d.Sweep.loads
+         & info [ "loads" ] ~docv:"R1,R2,..."
+             ~doc:"Offered loads to sweep, in requests per 1000 simulated cycles.")
+  in
+  let requests_arg =
+    Arg.(value & opt int d.Sweep.requests
+         & info [ "requests" ] ~doc:"Requests generated per load point.")
+  in
+  let process_arg =
+    Arg.(value & opt string "poisson"
+         & info [ "process" ] ~doc:"Arrival process: poisson or burst.")
+  in
+  let heat_arg =
+    Arg.(value & opt float 1.5
+         & info [ "heat" ] ~doc:"Burstiness of the burst arrival process (ignored for poisson).")
+  in
+  let cap_arg =
+    Arg.(value & opt int d.Sweep.queue_cap
+         & info [ "cap" ]
+             ~doc:"Waiting-request bound; arrivals beyond it are dropped at saturation \
+                   (0 = unbounded).")
+  in
+  let configs_arg =
+    Arg.(value & opt (list letter_conv) [ "B"; "C" ]
+         & info [ "configs" ] ~docv:"L1,L2,..."
+             ~doc:"Configurations to sweep (letters among B, P, C, W).")
+  in
+  let openloop_retries_arg =
+    Arg.(value & opt int 1
+         & info [ "retries" ]
+             ~doc:"Retry limit before fallback. The default 1 makes the baseline \
+                   fallback-heavy — the convoy CLEAR's single-retry bound avoids.")
+  in
+  let openloop_cores_arg =
+    Arg.(value & opt int Machine.Config.default.Machine.Config.cores
+         & info [ "cores" ] ~doc:"Simulated cores.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate each configuration's lowest load point with the execution oracle \
+                   (exit 1 on violation).")
+  in
+  Cmd.v
+    (Cmd.info "openloop"
+       ~doc:"Open-system sweep: requests arrive on their own schedule (Poisson or bursty), \
+             queue while cores are busy, and record enqueue-to-commit sojourn latency. Emits \
+             the latency-vs-offered-load curve with exact p50/p99/p999 percentiles. \
+             Deterministic per seed at any --jobs.")
+    Term.(const run $ json_arg $ jobs_arg $ workload_arg $ keys_arg $ theta_arg $ loads_arg
+          $ requests_arg $ process_arg $ heat_arg $ cap_arg $ configs_arg $ openloop_retries_arg
+          $ openloop_cores_arg $ seed_arg $ check_arg $ pdes_term)
+
 let config_cmd =
   let show letter cores ops seed retries =
     let cfg = config_of letter ~cores ~ops ~seed ~retries in
@@ -682,4 +803,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; suite_cmd; sched_cmd; check_cmd; list_cmd; analyze_cmd; lint_cmd; config_cmd ]))
+          [ run_cmd; suite_cmd; sched_cmd; check_cmd; list_cmd; analyze_cmd; lint_cmd;
+            openloop_cmd; config_cmd ]))

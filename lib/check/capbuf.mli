@@ -1,0 +1,39 @@
+(** Pooled per-core witness-capture buffer.
+
+    The engine's first capture implementation allocated per access (boxed
+    hashtable bindings) and per attempt (store-log conses) — millions of
+    words of churn over a checked sweep, growing linearly with event count
+    and therefore with open-system scale. A [Capbuf.t] is a handful of flat
+    int arrays owned by one core and reused across every attempt and
+    request of a run: recording an access writes two ints, and {!reset}
+    just zeroes the lengths.
+
+    Capture stays observation-only: the engine consults the buffer exactly
+    when it consulted the hashtables, and {!reads}/{!writes} reproduce the
+    old sorted-binding lists element for element, so checked statistics and
+    witnesses are bit-identical to the unpooled implementation. *)
+
+type t
+
+val create : unit -> t
+
+val note_read : t -> line:Mem.Addr.line -> time:int -> unit
+(** First access wins: later reads of a recorded line are ignored, so the
+    stored cycle is the line's first-read time. O(footprint) scan — cheaper
+    than hashing at attempt-footprint sizes, and allocation-free. *)
+
+val note_write : t -> line:Mem.Addr.line -> time:int -> unit
+
+val note_store : t -> addr:Mem.Addr.t -> value:int -> unit
+(** Appends; the store log keeps program order and duplicates. *)
+
+val reset : t -> unit
+(** O(1); keeps the arrays for the next attempt. *)
+
+val reads : t -> (Mem.Addr.line * int) list
+(** Sorted by line (unique), the {!Witness.t} convention. *)
+
+val writes : t -> (Mem.Addr.line * int) list
+
+val stores : t -> (Mem.Addr.t * int) list
+(** In program order. *)

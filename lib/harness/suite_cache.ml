@@ -22,7 +22,15 @@ let read_build_id path =
   | id -> Some id
   | exception _ -> None
 
+(* Open-system runs never touch the cache: a shard holds only Stats.t, so a
+   hit would silently drop the request-lifecycle data (latency percentiles)
+   the run exists to produce — the same reasoning that makes PDES runs
+   bypass the cache in Experiments.run_suite. *)
+let cacheable (cfg : Machine.Config.t) = cfg.Machine.Config.openloop = None
+
 let load_shard cfg ~workload ~seed : Machine.Stats.t option =
+  if not (cacheable cfg) then None
+  else
   let path = shard_path cfg ~workload ~seed in
   if not (Sys.file_exists path) then None
   else
@@ -55,6 +63,8 @@ let prune_stale () =
         names
 
 let save_shard cfg ~workload ~seed (s : Machine.Stats.t) =
+  if not (cacheable cfg) then ()
+  else begin
   (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
   let path = shard_path cfg ~workload ~seed in
   let tmp = path ^ ".tmp" in
@@ -62,6 +72,7 @@ let save_shard cfg ~workload ~seed (s : Machine.Stats.t) =
       Marshal.to_channel oc (build_id ()) [];
       Marshal.to_channel oc s []);
   Sys.rename tmp path
+  end
 
 let clear () =
   match Sys.readdir dir with

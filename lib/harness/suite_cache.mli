@@ -24,12 +24,20 @@ val shard_path : Machine.Config.t -> workload:string -> seed:int -> string
 (** Shard path for one simulation ([seed] is applied to the configuration
     before digesting, so callers may pass the unseeded sweep config). *)
 
+val cacheable : Machine.Config.t -> bool
+(** [false] for open-system configurations ([openloop] set): a shard holds
+    only a {!Machine.Stats.t}, so a hit would silently drop the
+    request-lifecycle data the run exists to produce. Such configurations
+    bypass the cache in both directions — {!load_shard} misses and
+    {!save_shard} is a no-op — mirroring how PDES runs bypass it in
+    [Experiments.run_suite]. *)
+
 val load_shard : Machine.Config.t -> workload:string -> seed:int -> Machine.Stats.t option
-(** [None] when the shard is missing, unreadable, or written by a different
-    build. *)
+(** [None] when the shard is missing, unreadable, written by a different
+    build, or the configuration is not {!cacheable}. *)
 
 val save_shard : Machine.Config.t -> workload:string -> seed:int -> Machine.Stats.t -> unit
-(** Atomic write (temp file + rename). *)
+(** Atomic write (temp file + rename); no-op when not {!cacheable}. *)
 
 val prune_stale : unit -> unit
 (** Delete every cache entry whose embedded build id differs from the

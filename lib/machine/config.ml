@@ -2,6 +2,15 @@ type htm_policy = Requester_wins | Power_tm
 
 type frontend = Htm | Sle
 
+type open_process = Open_poisson | Open_burst of { heat : float }
+
+type open_queue = {
+  open_rate : float;
+  open_requests : int;
+  open_process : open_process;
+  open_queue_cap : int;
+}
+
 type t = {
   cores : int;
   mem_params : Mem.Params.t;
@@ -28,6 +37,7 @@ type t = {
   ops_per_thread : int;
   seed : int;
   sched : Sched.Profile.t;
+  openloop : open_queue option;
   fault_blind_line : int option;
   fault_numa_blind : bool;
 }
@@ -59,6 +69,7 @@ let default =
     ops_per_thread = 400;
     seed = 42;
     sched = Sched.Profile.symmetric;
+    openloop = None;
     fault_blind_line = None;
     fault_numa_blind = false;
   }
@@ -85,6 +96,25 @@ let with_retries t n = { t with max_retries = n }
 let with_cores t n = { t with cores = n }
 
 let with_seed t s = { t with seed = s }
+
+let with_openloop t q =
+  (match q with
+  | None -> ()
+  | Some q ->
+      if q.open_rate <= 0.0 then invalid_arg "Config.with_openloop: open_rate must be positive";
+      if q.open_requests <= 0 then
+        invalid_arg "Config.with_openloop: open_requests must be positive";
+      if q.open_queue_cap < 0 then
+        invalid_arg "Config.with_openloop: open_queue_cap must be non-negative";
+      match q.open_process with
+      | Open_poisson -> ()
+      | Open_burst { heat } ->
+          if heat < 0.0 then invalid_arg "Config.with_openloop: negative burst heat");
+  { t with openloop = q }
+
+let open_process_name = function
+  | Open_poisson -> "poisson"
+  | Open_burst { heat } -> Printf.sprintf "burst(h%.1f)" heat
 
 let with_sched t p =
   (match Sched.Profile.validate p with

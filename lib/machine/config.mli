@@ -13,6 +13,24 @@ type frontend =
   | Sle  (** in-core speculation: lock elision bounded by the ROB/SQ window,
              fallback acquires the region's own lock (paper §4.1/§4.3) *)
 
+type open_process =
+  | Open_poisson  (** exponential interarrivals (memoryless) *)
+  | Open_burst of { heat : float }
+      (** inverse-power interarrivals via {!Sched.Profile}'s [Burst] kernel:
+          mass concentrates at 1 cycle with a heavy tail; larger [heat]
+          skews burstier at the same mean offered load *)
+
+(** Open-system (request-driven) frontend parameters. Pure data so configs
+    keep Marshalling (suite-cache digests compare structurally). *)
+type open_queue = {
+  open_rate : float;  (** offered load, requests per 1000 cycles (> 0) *)
+  open_requests : int;  (** total requests the arrival process generates *)
+  open_process : open_process;
+  open_queue_cap : int;
+      (** max waiting (admitted, undispatched) requests; arrivals beyond it
+          are dropped at saturation. [0] = unbounded. *)
+}
+
 type t = {
   cores : int;
   mem_params : Mem.Params.t;
@@ -50,6 +68,11 @@ type t = {
           phase offsets and the NUMA latency matrix. The default
           {!Sched.Profile.symmetric} reproduces the legacy single
           [think_cycles] pacing bit-for-bit. *)
+  openloop : open_queue option;
+      (** [Some q] switches the engine to the open-system frontend: cores
+          pull the next queued request when idle instead of looping
+          [ops_per_thread] fixed ops. [None] (all presets) is the classic
+          closed loop, bit-identical to before this field existed. *)
   (* Fault injection (testing the execution oracle only) *)
   fault_blind_line : int option;
       (** When set, speculative conflict detection ignores this line entirely:
@@ -87,6 +110,14 @@ val with_retries : t -> int -> t
 val with_cores : t -> int -> t
 
 val with_seed : t -> int -> t
+
+val with_openloop : t -> open_queue option -> t
+(** Attach (or detach) the open-system frontend. Raises [Invalid_argument]
+    on a non-positive rate or request count, a negative queue cap, or
+    negative burst heat. *)
+
+val open_process_name : open_process -> string
+(** Short human form, e.g. ["poisson"], ["burst(h1.5)"]. *)
 
 val with_sched : t -> Sched.Profile.t -> t
 (** Attach a schedule profile. Raises [Invalid_argument] when

@@ -46,12 +46,12 @@ type core = {
   mutable explicit_fb_counted : bool; (* one explicit-fallback abort per spin session *)
   mutable footprint0 : Mem.Addr.line array option; (* fig. 1; sorted *)
   attempt_lines : Simrt.Lineset.t; (* footprint incl. CL modes *)
+  mutable req : int; (* open-system request being served; -1 when none *)
   mutable finished : bool;
   (* Witness capture (populated only when the engine has a check collector;
-     deliberately separate from the Txn sets, which NS-CL/fallback bypass). *)
-  cap_reads : (Mem.Addr.line, int) Hashtbl.t; (* line -> first-read cycle *)
-  cap_writes : (Mem.Addr.line, int) Hashtbl.t; (* line -> first-write cycle *)
-  mutable cap_stores : (Mem.Addr.t * int) list; (* reversed program-order log *)
+     deliberately separate from the Txn sets, which NS-CL/fallback bypass).
+     One pooled buffer per core, reused across attempts and requests. *)
+  cap : Check.Capbuf.t;
 }
 
 type t = {
@@ -67,6 +67,7 @@ type t = {
          lock per critical-section mutex. *)
   stats : Stats.t;
   perf : Simrt.Perfctr.t;
+  openq : Openq.t option;
   cores : core array;
   queue : int Event_queue.t; (* payload: core id *)
   mutable power_owner : int; (* PowerTM token, -1 when free *)
@@ -119,10 +120,9 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
           explicit_fb_counted = false;
           footprint0 = None;
           attempt_lines = Simrt.Lineset.create ~hint:64 ();
+          req = -1;
           finished = false;
-          cap_reads = Hashtbl.create 64;
-          cap_writes = Hashtbl.create 64;
-          cap_stores = [];
+          cap = Check.Capbuf.create ();
         })
   in
   let queue = Event_queue.create () in
@@ -150,6 +150,13 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
     locks = Hashtbl.create 16;
     stats;
     perf = Simrt.Perfctr.create ();
+    (* The arrival schedule draws from its own split; Rng.split derives from
+       the parent's original seed, not its state, so adding this split
+       leaves every closed-loop stream bit-identical. *)
+    openq =
+      (match cfg.openloop with
+      | None -> None
+      | Some q -> Some (Openq.create q (Rng.split root_rng 104_729)));
     cores;
     queue;
     power_owner = -1;
@@ -159,6 +166,8 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
 let store t = t.store
 
 let perfctr t = t.perf
+
+let openq t = t.openq
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -234,18 +243,13 @@ let mode_string = function
 
 let capturing t = t.check <> None
 
-let cap_read t c line =
-  if capturing t && not (Hashtbl.mem c.cap_reads line) then Hashtbl.add c.cap_reads line t.now
+let cap_read t c line = if capturing t then Check.Capbuf.note_read c.cap ~line ~time:t.now
 
-let cap_write t c line =
-  if capturing t && not (Hashtbl.mem c.cap_writes line) then Hashtbl.add c.cap_writes line t.now
+let cap_write t c line = if capturing t then Check.Capbuf.note_write c.cap ~line ~time:t.now
 
-let cap_store t c addr value = if capturing t then c.cap_stores <- (addr, value) :: c.cap_stores
+let cap_store t c addr value = if capturing t then Check.Capbuf.note_store c.cap ~addr ~value
 
-let cap_reset c =
-  Hashtbl.reset c.cap_reads;
-  Hashtbl.reset c.cap_writes;
-  c.cap_stores <- []
+let cap_reset c = Check.Capbuf.reset c.cap
 
 let lock_ev t ev =
   match t.check with None -> () | Some col -> Check.Collector.add_lock_event col ev
@@ -256,7 +260,6 @@ let witness_mode_of = function
   | M_nscl -> Check.Witness.Nscl
   | M_fallback -> Check.Witness.Fallback
 
-let sorted_bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
 (* Fault injection: accesses the conflict-detection hardware is blind to
    (testing knobs — see Config.fault_blind_line / fault_numa_blind). The
@@ -328,8 +331,8 @@ let do_commit t c =
   | Some col ->
       Check.Collector.add_commit col ~time:t.now ~core:c.id ~ar:op.Workload.ar
         ~init_regs:op.Workload.init_regs ~mode:(witness_mode_of c.mode)
-        ~retries:c.retries_counted ~reads:(sorted_bindings c.cap_reads)
-        ~writes:(sorted_bindings c.cap_writes) ~stores:(List.rev c.cap_stores));
+        ~retries:c.retries_counted ~reads:(Check.Capbuf.reads c.cap)
+        ~writes:(Check.Capbuf.writes c.cap) ~stores:(Check.Capbuf.stores c.cap));
   Txn.iter_lines c.txn (fun line -> Conflict_map.remove_line t.conflicts ~core:c.id line);
   cleanup_cl_locks t c;
   lock_ev t (Check.Lock_safety.Attempt_end { time = t.now; core = c.id });
@@ -341,6 +344,11 @@ let do_commit t c =
   Stats.note_commit ~ar:op.Workload.ar.Isa.Program.name t.stats ~mode:(stats_mode_of c)
     ~retries:c.retries_counted;
   t.perf.commits <- t.perf.commits + 1;
+  (match t.openq with
+  | Some oq when c.req >= 0 ->
+      Openq.complete oq ~req:c.req ~now:t.now;
+      c.req <- -1
+  | Some _ | None -> ());
   finish_op c;
   t.cfg.xend_cost + (drained / 4)
 
@@ -879,42 +887,74 @@ let step_exec t c =
             do_abort t c cause
           end)
 
+(* Pull the next operation from the driver and charge its think time. The
+   driver call is shared by both frontends; only the decision of *whether*
+   there is a next operation differs. *)
+let issue_op t c =
+  let op =
+    match t.check with
+    | None -> c.driver ()
+    | Some col ->
+        (* Drivers may write the store outside any AR (thread-private
+           scratch, e.g. labyrinth's path buffers). Capture those writes so
+           the replay oracle can apply them at the right point. *)
+        let rev = ref [] in
+        let op =
+          Mem.Store.with_observer t.store
+            (fun a v -> rev := (a, v) :: !rev)
+            (fun () -> c.driver ())
+        in
+        Check.Collector.add_driver_writes col ~time:t.now ~core:c.id ~stores:(List.rev !rev);
+        op
+  in
+  c.op <- Some op;
+  c.phase <- P_start;
+  c.attempt <- 0;
+  c.retries_counted <- 0;
+  c.planned <- None;
+  (* Per-core pacing from the schedule profile (the symmetric default is
+     the legacy think_cycles + U[0, think/2] draw, bit-for-bit). The
+     workload's own extra_think rides on top regardless of profile. *)
+  let think =
+    Sched.Profile.sample_think t.cfg.sched ~core:c.id ~base:t.cfg.think_cycles c.rng
+  in
+  think + op.Workload.extra_think
+
 let step_next_op t c =
-  if c.ops_done >= Sched.Profile.ops_for t.cfg.sched ~core:c.id ~base:t.cfg.ops_per_thread then begin
-    c.finished <- true;
-    c.phase <- P_done;
-    0
-  end
-  else begin
-    let op =
-      match t.check with
-      | None -> c.driver ()
-      | Some col ->
-          (* Drivers may write the store outside any AR (thread-private
-             scratch, e.g. labyrinth's path buffers). Capture those writes so
-             the replay oracle can apply them at the right point. *)
-          let rev = ref [] in
-          let op =
-            Mem.Store.with_observer t.store
-              (fun a v -> rev := (a, v) :: !rev)
-              (fun () -> c.driver ())
-          in
-          Check.Collector.add_driver_writes col ~time:t.now ~core:c.id ~stores:(List.rev !rev);
-          op
-    in
-    c.op <- Some op;
-    c.phase <- P_start;
-    c.attempt <- 0;
-    c.retries_counted <- 0;
-    c.planned <- None;
-    (* Per-core pacing from the schedule profile (the symmetric default is
-       the legacy think_cycles + U[0, think/2] draw, bit-for-bit). The
-       workload's own extra_think rides on top regardless of profile. *)
-    let think =
-      Sched.Profile.sample_think t.cfg.sched ~core:c.id ~base:t.cfg.think_cycles c.rng
-    in
-    think + op.Workload.extra_think
-  end
+  match t.openq with
+  | None ->
+      if c.ops_done >= Sched.Profile.ops_for t.cfg.sched ~core:c.id ~base:t.cfg.ops_per_thread
+      then begin
+        c.finished <- true;
+        c.phase <- P_done;
+        0
+      end
+      else issue_op t c
+  | Some oq -> (
+      (* Open-system frontend: the clock and the workload are decoupled.
+         Admission is lazy but exact — every dispatch attempt first moves all
+         arrivals up to [now] into the backlog, so FIFO order and drop
+         decisions depend only on virtual time, never on host scheduling. *)
+      Openq.admit_until oq ~now:t.now;
+      match Openq.dispatch oq ~now:t.now with
+      | Some req ->
+          c.req <- req;
+          issue_op t c
+      | None ->
+          if Openq.exhausted oq then begin
+            c.finished <- true;
+            c.phase <- P_done;
+            0
+          end
+          else
+            (* Backlog empty but more requests are coming: park until the
+               next arrival. Draws nothing from the RNG. *)
+            let ta =
+              match Openq.next_arrival oq with
+              | Some ta -> ta
+              | None -> assert false (* not exhausted ⇒ an arrival exists *)
+            in
+            max 1 (ta - t.now))
 
 let step t c =
   match c.phase with
@@ -927,6 +967,17 @@ let step t c =
 let gc_words () =
   let s = Gc.quick_stat () in
   s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+(* Fold the request queue's end-of-run totals into the perf record — off the
+   per-event datapath, so the open counters cost nothing when unused. *)
+let sync_open_perf t =
+  match t.openq with
+  | None -> ()
+  | Some oq ->
+      t.perf.open_arrivals <- t.perf.open_arrivals + Openq.admitted oq;
+      t.perf.open_dropped <- t.perf.open_dropped + Openq.dropped oq;
+      t.perf.open_completed <- t.perf.open_completed + Openq.completed oq;
+      t.perf.open_qdepth_hw <- max t.perf.open_qdepth_hw (Openq.qdepth_hw oq)
 
 let livelock_fail t =
   let dump =
@@ -990,6 +1041,7 @@ let run_sequential ~max_cycles t =
   Stats.set_total_cycles t.stats !last_time;
   t.perf.sims <- t.perf.sims + 1;
   t.perf.allocated_words <- t.perf.allocated_words + int_of_float (gc_words () -. words_before);
+  sync_open_perf t;
   t.stats
 
 (* ------------------------------------------------------------------ *)
@@ -1370,6 +1422,7 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
   Stats.set_total_cycles t.stats !last_time;
   t.perf.sims <- t.perf.sims + 1;
   t.perf.allocated_words <- t.perf.allocated_words + int_of_float (gc_words () -. words_before);
+  sync_open_perf t;
   t.stats
 
 let run ?(max_cycles = 4_000_000_000) ?pdes t =

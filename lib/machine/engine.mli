@@ -18,7 +18,13 @@
       requesters (which hold locks) are nacked and abort;
     - after [max_retries] counted retries the fallback path takes the
       fallback lock exclusively (the single global lock under HTM, the
-      region's own mutex under SLE). *)
+      region's own mutex under SLE).
+
+    When the configuration carries an {!Config.open_queue}, the fixed
+    per-core op count is replaced by the open-system frontend: an idle core
+    pulls the next queued request ({!Openq}), parks until the next arrival
+    when the backlog is empty, and finishes once the arrival schedule is
+    exhausted. Closed-loop configurations are untouched bit-for-bit. *)
 
 type t
 
@@ -53,6 +59,11 @@ val perfctr : t -> Simrt.Perfctr.t
 (** Hot-path performance counters accumulated by {!run}. Engine-internal
     instrumentation only — never part of the simulated statistics, so reading
     (or ignoring) them cannot affect simulation output. *)
+
+val openq : t -> Openq.t option
+(** The open-system request queue, present iff the configuration set
+    [openloop]. After {!run} it holds the full per-request lifecycle
+    (arrival/dispatch/commit stamps) the latency reporter reads. *)
 
 val run_workload : ?pdes:Pdes.t -> Config.t -> Workload.t -> Stats.t
 (** [create] + [run]. *)

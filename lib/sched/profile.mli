@@ -49,6 +49,12 @@ val is_hot : t -> core:int -> bool
 
 val think_for : t -> core:int -> think_dist
 
+val sample_dist : think_dist -> base:int -> Simrt.Rng.t -> int
+(** One draw from a distribution directly (at most one value from [rng]).
+    [base] only matters for [Default]. This is the sampling kernel behind
+    {!sample_think}; the open-system traffic generator reuses the [Burst]
+    inverse-power case for bursty interarrival times. *)
+
 val sample_think : t -> core:int -> base:int -> Simrt.Rng.t -> int
 (** One op's think time for [core], excluding the workload's per-op
     [extra_think] (the engine adds that separately). Draws at most one

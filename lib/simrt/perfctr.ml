@@ -14,6 +14,10 @@ type t = {
   mutable pdes_ext_events : int;
   mutable pdes_lookahead_total : int;
   mutable pdes_lookahead_max : int;
+  mutable open_arrivals : int;
+  mutable open_dropped : int;
+  mutable open_completed : int;
+  mutable open_qdepth_hw : int;
 }
 
 let create () =
@@ -33,6 +37,10 @@ let create () =
     pdes_ext_events = 0;
     pdes_lookahead_total = 0;
     pdes_lookahead_max = 0;
+    open_arrivals = 0;
+    open_dropped = 0;
+    open_completed = 0;
+    open_qdepth_hw = 0;
   }
 
 let reset t =
@@ -50,7 +58,11 @@ let reset t =
   t.pdes_merge_events <- 0;
   t.pdes_ext_events <- 0;
   t.pdes_lookahead_total <- 0;
-  t.pdes_lookahead_max <- 0
+  t.pdes_lookahead_max <- 0;
+  t.open_arrivals <- 0;
+  t.open_dropped <- 0;
+  t.open_completed <- 0;
+  t.open_qdepth_hw <- 0
 
 let merge_into ~dst src =
   dst.sims <- dst.sims + src.sims;
@@ -67,7 +79,11 @@ let merge_into ~dst src =
   dst.pdes_merge_events <- dst.pdes_merge_events + src.pdes_merge_events;
   dst.pdes_ext_events <- dst.pdes_ext_events + src.pdes_ext_events;
   dst.pdes_lookahead_total <- dst.pdes_lookahead_total + src.pdes_lookahead_total;
-  dst.pdes_lookahead_max <- max dst.pdes_lookahead_max src.pdes_lookahead_max
+  dst.pdes_lookahead_max <- max dst.pdes_lookahead_max src.pdes_lookahead_max;
+  dst.open_arrivals <- dst.open_arrivals + src.open_arrivals;
+  dst.open_dropped <- dst.open_dropped + src.open_dropped;
+  dst.open_completed <- dst.open_completed + src.open_completed;
+  dst.open_qdepth_hw <- max dst.open_qdepth_hw src.open_qdepth_hw
 
 let mean_lookahead t =
   if t.pdes_windows = 0 then 0.
@@ -90,4 +106,8 @@ let to_list t =
     ("pdes_ext_events", t.pdes_ext_events);
     ("pdes_lookahead_total", t.pdes_lookahead_total);
     ("pdes_lookahead_max", t.pdes_lookahead_max);
+    ("open_arrivals", t.open_arrivals);
+    ("open_dropped", t.open_dropped);
+    ("open_completed", t.open_completed);
+    ("open_qdepth_hw", t.open_qdepth_hw);
   ]

@@ -28,6 +28,11 @@ type t = {
           only by the static-footprint insulation argument *)
   mutable pdes_lookahead_total : int;  (** summed per-burst lookahead distance (cycles) *)
   mutable pdes_lookahead_max : int;  (** largest single-burst lookahead (cycles) *)
+  mutable open_arrivals : int;
+      (** open-system requests admitted to the queue (excludes drops) *)
+  mutable open_dropped : int;  (** requests dropped at saturation (queue cap hit) *)
+  mutable open_completed : int;  (** requests that committed their AR *)
+  mutable open_qdepth_hw : int;  (** queue-depth high-water mark *)
 }
 
 val create : unit -> t
@@ -35,7 +40,8 @@ val create : unit -> t
 val reset : t -> unit
 
 val merge_into : dst:t -> t -> unit
-(** Counters add; [pdes_lookahead_max] takes the maximum. *)
+(** Counters add; [pdes_lookahead_max] and [open_qdepth_hw] take the
+    maximum. *)
 
 val mean_lookahead : t -> float
 (** [pdes_lookahead_total / pdes_windows]; 0 when no window ran. *)

@@ -3,7 +3,7 @@ module P = Isa.Program
 module W = Machine.Workload
 open Common
 
-let make ?(slots = 48) ?(theta = 0.4) () =
+let make ?(slots = 48) ?(theta = zipf_theta_default) () =
   let layout = Layout.create () in
   let base = Layout.alloc_lines layout slots in
   let stride = Mem.Addr.words_per_line in

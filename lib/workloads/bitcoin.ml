@@ -3,7 +3,7 @@ module P = Isa.Program
 module W = Machine.Workload
 open Common
 
-let make ?(wallets = 64) ?(theta = 0.6) () =
+let make ?(wallets = 64) ?(theta = zipf_theta_heavy) () =
   let layout = Layout.create () in
   (* users directory: one pointer per word, packed (read-only, so sharing a
      line across entries is harmless). *)

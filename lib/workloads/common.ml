@@ -7,6 +7,15 @@ let imm i = Isa.Instr.Imm i
 
 let max_threads = 62
 
+(* Zipf popularity skews shared by the workload drivers. Values are the
+   historical per-workload defaults, hoisted so every driver (and the
+   open-system traffic generator) names the same skew tiers. *)
+let zipf_theta_heavy = 0.6
+
+let zipf_theta_default = 0.4
+
+let zipf_theta_light = 0.3
+
 let mailboxes layout ~threads = Array.init threads (fun _ -> Layout.alloc_line layout)
 
 let fetch_add_ar ~id ~name ~region =

@@ -44,3 +44,16 @@ val dir_read_ar :
 val max_threads : int
 (** Upper bound used when sizing per-thread structures (62, the simulator's
     core-count ceiling). *)
+
+(** Zipf popularity skew tiers. One shared vocabulary instead of magic
+    floats duplicated per driver; the numeric values are unchanged from the
+    historical defaults, so golden fingerprints are unaffected. *)
+
+val zipf_theta_heavy : float
+(** 0.6 — strongly skewed key popularity (bitcoin's hot wallets). *)
+
+val zipf_theta_default : float
+(** 0.4 — the common moderate skew (arrayswap, vacation, intruder). *)
+
+val zipf_theta_light : float
+(** 0.3 — mild skew (yada, kmeans). *)

@@ -67,7 +67,7 @@ let make ?(ring_capacity = 32) ?(flows = 24) () =
     if dice < 0.45 then
       W.op pop_fragment [ (0, head); (1, slots); (3, ring_capacity); (5, mail.(tid)) ]
     else if dice < 0.85 then begin
-      let f = Simrt.Rng.zipf rng ~n:flows ~theta:0.4 in
+      let f = Simrt.Rng.zipf rng ~n:flows ~theta:zipf_theta_default in
       W.op update_flow
         [ (0, flow_dir + f); (1, 1); (2, Simrt.Rng.int rng 64); (3, Simrt.Rng.int rng 2) ]
     end

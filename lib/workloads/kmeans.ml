@@ -31,7 +31,7 @@ let make ?(clusters = 8) ~name () =
     Mem.Store.write store delta 0
   in
   let make_driver ~tid:_ ~threads:_ _store rng () =
-    let k = Simrt.Rng.zipf rng ~n:clusters ~theta:0.3 in
+    let k = Simrt.Rng.zipf rng ~n:clusters ~theta:zipf_theta_light in
     let dice = Simrt.Rng.float rng 1.0 in
     if dice < 0.7 then
       W.op ~lock_id:(k + 1) add_point

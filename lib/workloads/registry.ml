@@ -33,3 +33,13 @@ let find name =
   | None -> raise Not_found
 
 let names = List.map (fun (w : Machine.Workload.t) -> w.name) all
+
+(* Open-system variants: the same ARs over a keyed structure scaled to
+   [keys] entries — far past the private caches, so Zipf skew (not cache
+   residency) decides which lines stay hot. Workloads whose keyed structure
+   is not parameterizable fall back to their registry build. *)
+let open_scaled name ~keys ~theta =
+  match name with
+  | "arrayswap" -> Arrayswap.make ~slots:keys ~theta ()
+  | "bitcoin" -> Bitcoin.make ~wallets:keys ~theta ()
+  | _ -> find name

@@ -11,3 +11,10 @@ val find : string -> Machine.Workload.t
 (** By name; raises [Not_found]. *)
 
 val names : string list
+
+val open_scaled : string -> keys:int -> theta:float -> Machine.Workload.t
+(** The workload with its keyed structure grown to [keys] entries and Zipf
+    skew [theta] — the open-system harness uses this to put the popularity
+    distribution, not cache residency, in charge of contention. Falls back
+    to {!find} (raising [Not_found] on unknown names) for workloads without
+    a scalable keyed structure. *)

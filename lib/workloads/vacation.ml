@@ -79,7 +79,7 @@ let make ?(resources = 8) ?(chain = 6) ~name () =
   in
   let make_driver ~tid ~threads:_ _store rng () =
     let dice = Simrt.Rng.float rng 1.0 in
-    let r = Simrt.Rng.zipf rng ~n:resources ~theta:0.4 in
+    let r = Simrt.Rng.zipf rng ~n:resources ~theta:zipf_theta_default in
     let record_id = Simrt.Rng.int rng chain in
     if dice < 0.5 then
       W.op ~lock_id:(r + 1) reserve [ (0, heads.(r)); (1, record_id); (5, mail.(tid)) ]

@@ -141,7 +141,7 @@ let make ?(triangles = 48) ?(ring_capacity = 64) ?(pool_per_thread = 256) () =
     let cursor = ref 0 in
     fun () ->
       let dice = Simrt.Rng.float rng 1.0 in
-      let tri = tris.(Simrt.Rng.zipf rng ~n:triangles ~theta:0.3) in
+      let tri = tris.(Simrt.Rng.zipf rng ~n:triangles ~theta:zipf_theta_light) in
       if dice < 0.2 then W.op pop_work [ (0, head); (1, ring); (3, ring_capacity); (5, mail.(tid)) ]
       else if dice < 0.35 then W.op push_work [ (0, tail); (1, ring); (3, ring_capacity); (2, tri) ]
       else if dice < 0.6 then W.op refine [ (0, tri); (1, 1) ]

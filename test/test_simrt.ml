@@ -79,6 +79,19 @@ let prop_zipf_bounds =
       let v = Rng.zipf rng ~n ~theta in
       v >= 0 && v < n)
 
+(* zipf draws exactly one uniform and maps it through u^(1+theta), which
+   is pointwise decreasing in theta — so on the same stream, a higher
+   theta can never yield a larger index. This is the "more skew means
+   more popular keys" guarantee the open-loop harness leans on. *)
+let prop_zipf_theta_monotone =
+  QCheck.Test.make ~name:"Rng.zipf: higher theta, smaller index (same stream)" ~count:500
+    QCheck.(quad small_int (int_range 1 10_000) (float_range 0.01 4.0) (float_range 0.01 4.0))
+    (fun (seed, n, t1, t2) ->
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      let a = Rng.zipf (Rng.create seed) ~n ~theta:hi in
+      let b = Rng.zipf (Rng.create seed) ~n ~theta:lo in
+      a <= b)
+
 let test_zipf_skew () =
   (* With strong skew, index 0's bucket should dominate. *)
   let rng = Rng.create 13 in
@@ -436,7 +449,7 @@ let () =
           Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
           Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
         ]
-        @ qsuite [ prop_int_bounds; prop_int_in_bounds; prop_zipf_bounds ] );
+        @ qsuite [ prop_int_bounds; prop_int_in_bounds; prop_zipf_bounds; prop_zipf_theta_monotone ] );
       ( "event_queue",
         [
           Alcotest.test_case "ordering" `Quick test_queue_ordering;
