@@ -227,7 +227,7 @@ let sched_arg =
 let suite_cmd =
   let module Experiments = Clear_repro.Experiments in
   let module Suite_cache = Clear_repro.Suite_cache in
-  let suite jobs paper workload check no_cache cache_clear sched pdes =
+  let suite jobs paper workload check stream no_cache cache_clear sched pdes =
     if cache_clear then begin
       let n = Suite_cache.clear () in
       Printf.eprintf "[suite] cleared %d cache shard(s) from %s\n%!" n Suite_cache.dir
@@ -252,7 +252,9 @@ let suite_cmd =
     | None -> ()
     | Some p -> Printf.eprintf "[suite] engine driver: %s (cache bypassed)\n%!" (Machine.Pdes.describe p));
     let t0 = Unix.gettimeofday () in
-    let s = Experiments.run_suite ~jobs ~check ~cache:use_cache ?pdes ~workloads ~progress opts in
+    let s =
+      Experiments.run_suite ~jobs ~check ~stream ~cache:use_cache ?pdes ~workloads ~progress opts
+    in
     Printf.eprintf "[suite] done in %.1f s on %d domain(s)%s\n%!"
       (Unix.gettimeofday () -. t0) jobs
       (if check then " (all runs validated by the execution oracle)" else "");
@@ -274,6 +276,12 @@ let suite_cmd =
                    sequential replay, lock safety, static soundness gate). Implies bypassing \
                    the suite cache.")
   in
+  let stream_arg =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Run the --check oracles online (incremental checker with bounded memory, \
+                   DESIGN.md §14); identical verdicts, O(live lines) peak checker state.")
+  in
   let no_cache_arg =
     Arg.(value & flag
          & info [ "no-cache" ] ~doc:"Neither read nor write the on-disk per-simulation shards.")
@@ -284,8 +292,8 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Run the 4-configuration sweep on a pool of domains; print Figure 8 and the headline.")
-    Term.(const suite $ jobs_arg $ paper_arg $ workload_filter $ check_arg $ no_cache_arg
-          $ cache_clear_arg $ sched_arg $ pdes_term)
+    Term.(const suite $ jobs_arg $ paper_arg $ workload_filter $ check_arg $ stream_arg
+          $ no_cache_arg $ cache_clear_arg $ sched_arg $ pdes_term)
 
 (* ------------------------------------------------------------------ *)
 (* sched: scenario sweep against the symmetric baseline                *)
@@ -476,14 +484,15 @@ let sched_cmd =
           $ sched_cores_arg $ sched_ops_arg $ retries_arg)
 
 let check_cmd =
-  let check workload all letter cores ops seed retries frontend =
+  let check workload all letter cores ops seed retries frontend stream fault_blind_line =
     let ws = if all then Workloads.Registry.all else [ find_workload workload ] in
     let cfg = config_of ~frontend letter ~cores ~ops ~seed ~retries in
+    let cfg = { cfg with Machine.Config.fault_blind_line } in
     let failures = ref 0 in
     List.iter
       (fun (w : Machine.Workload.t) ->
         let _stats, verdict =
-          Clear_repro.Run.run_sim_checked { Clear_repro.Run.cfg; workload = w; seed }
+          Clear_repro.Run.run_sim_checked ~stream { Clear_repro.Run.cfg; workload = w; seed }
         in
         if Check.Verdict.ok verdict then
           Printf.printf "%-12s %s  OK (%d commits)\n%!" w.name letter
@@ -498,13 +507,26 @@ let check_cmd =
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Check every benchmark instead of one.")
   in
+  let stream_arg =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Run the oracles online (incremental checker with bounded memory, DESIGN.md \
+                   §14) instead of post hoc; the verdict is identical either way.")
+  in
+  let fault_blind_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fault-blind-line" ] ~docv:"LINE"
+             ~doc:"Inject the conflict-blindness engine bug on $(docv) (the engine stops \
+                   detecting conflicts there). The oracles must catch it — used by the smoke \
+                   gates to prove both checking paths fail loudly.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run benchmarks with the execution oracle: commit-order serializability over the \
              captured witnesses, bit-exact sequential replay of all committed ARs, and \
              lock-safety invariants. Exits non-zero on any violation.")
     Term.(const check $ workload_arg $ all_arg $ preset_arg $ cores_arg $ ops_arg $ seed_arg
-          $ retries_arg $ frontend_arg)
+          $ retries_arg $ frontend_arg $ stream_arg $ fault_blind_arg)
 
 let list_cmd =
   let list () =
@@ -677,7 +699,7 @@ let openloop_cmd =
   let module Sweep = Openloop.Sweep in
   let d = Sweep.default_options in
   let run json jobs workload keys theta loads requests process_name heat cap configs retries
-      cores seed check pdes =
+      cores seed check stream pdes =
     let process =
       match String.lowercase_ascii process_name with
       | "poisson" -> Machine.Config.Open_poisson
@@ -708,6 +730,7 @@ let openloop_cmd =
         seed;
         jobs;
         check;
+        stream;
         pdes;
       }
     in
@@ -780,6 +803,12 @@ let openloop_cmd =
              ~doc:"Validate each configuration's lowest load point with the execution oracle \
                    (exit 1 on violation).")
   in
+  let stream_arg =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Run the --check oracles online (incremental checker with bounded memory, \
+                   DESIGN.md §14); identical verdicts, O(live lines) peak checker state.")
+  in
   Cmd.v
     (Cmd.info "openloop"
        ~doc:"Open-system sweep: requests arrive on their own schedule (Poisson or bursty), \
@@ -788,7 +817,7 @@ let openloop_cmd =
              Deterministic per seed at any --jobs.")
     Term.(const run $ json_arg $ jobs_arg $ workload_arg $ keys_arg $ theta_arg $ loads_arg
           $ requests_arg $ process_arg $ heat_arg $ cap_arg $ configs_arg $ openloop_retries_arg
-          $ openloop_cores_arg $ seed_arg $ check_arg $ pdes_term)
+          $ openloop_cores_arg $ seed_arg $ check_arg $ stream_arg $ pdes_term)
 
 let config_cmd =
   let show letter cores ops seed retries =

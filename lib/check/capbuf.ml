@@ -69,8 +69,11 @@ let sorted_pairs lines times n =
     xs := (lines.(i), times.(i)) :: !xs
   done;
   (* Lines are unique, so this matches the old hashtable capture's
-     [List.sort compare] on (line, time) bindings exactly. *)
-  List.sort compare !xs
+     [List.sort compare] on (line, time) bindings exactly — as does the
+     explicit int-pair comparator, which avoids the generic-compare call
+     per element on this per-commit path. *)
+  let cmp (l1, t1) (l2, t2) = if l1 <> l2 then Int.compare l1 l2 else Int.compare t1 t2 in
+  List.sort cmp !xs
 
 let reads t = sorted_pairs t.rl t.rt t.rn
 

@@ -9,8 +9,18 @@ type decision = {
   decision : Clear.Decision.mode;
 }
 
+type sink = {
+  sink_initial : Mem.Store.image -> unit;
+  sink_commit : Witness.t -> unit;
+  sink_driver_writes : time:int -> core:int -> stores:(Mem.Addr.t * int) list -> unit;
+  sink_lock_event : Lock_safety.event -> unit;
+  sink_decision : decision -> unit;
+  sink_stats : unit -> int * int;
+}
+
 type t = {
   n_cores : int;
+  sink : sink option;
   mutable initial : Mem.Store.image option;
   mutable rev_entries : entry list;
   mutable rev_lock_events : Lock_safety.event list;
@@ -18,9 +28,10 @@ type t = {
   mutable next_seq : int;
 }
 
-let create ~cores =
+let make ~cores sink =
   {
     n_cores = cores;
+    sink;
     initial = None;
     rev_entries = [];
     rev_lock_events = [];
@@ -28,9 +39,19 @@ let create ~cores =
     next_seq = 0;
   }
 
+let create ~cores = make ~cores None
+
+let create_streaming ~cores sink = make ~cores (Some sink)
+
 let cores t = t.n_cores
 
-let set_initial t snap = t.initial <- Some snap
+let is_streaming t = t.sink <> None
+
+let stream_stats t = Option.map (fun s -> s.sink_stats ()) t.sink
+
+let set_initial t snap =
+  t.initial <- Some snap;
+  match t.sink with None -> () | Some s -> s.sink_initial snap
 
 let add_commit t ~time ~core ~ar ~init_regs ~mode ~retries ~reads ~writes ~stores =
   let w =
@@ -48,15 +69,26 @@ let add_commit t ~time ~core ~ar ~init_regs ~mode ~retries ~reads ~writes ~store
     }
   in
   t.next_seq <- t.next_seq + 1;
-  t.rev_entries <- Commit w :: t.rev_entries
+  match t.sink with
+  | None -> t.rev_entries <- Commit w :: t.rev_entries
+  | Some s -> s.sink_commit w
 
 let add_driver_writes t ~time ~core ~stores =
-  if stores <> [] then t.rev_entries <- Driver_writes { time; core; stores } :: t.rev_entries
+  if stores <> [] then
+    match t.sink with
+    | None -> t.rev_entries <- Driver_writes { time; core; stores } :: t.rev_entries
+    | Some s -> s.sink_driver_writes ~time ~core ~stores
 
-let add_lock_event t ev = t.rev_lock_events <- ev :: t.rev_lock_events
+let add_lock_event t ev =
+  match t.sink with
+  | None -> t.rev_lock_events <- ev :: t.rev_lock_events
+  | Some s -> s.sink_lock_event ev
 
 let add_decision t ~time ~core ~ar ~decision =
-  t.rev_decisions <- { time; core; ar; decision } :: t.rev_decisions
+  let d = { time; core; ar; decision } in
+  match t.sink with
+  | None -> t.rev_decisions <- d :: t.rev_decisions
+  | Some s -> s.sink_decision d
 
 let initial t = t.initial
 

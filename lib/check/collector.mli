@@ -23,11 +23,39 @@ type decision = {
     performed; the static soundness gate asserts each lies inside the
     statically predicted decision envelope. *)
 
+type sink = {
+  sink_initial : Mem.Store.image -> unit;
+  sink_commit : Witness.t -> unit;
+  sink_driver_writes : time:int -> core:int -> stores:(Mem.Addr.t * int) list -> unit;
+  sink_lock_event : Lock_safety.event -> unit;
+  sink_decision : decision -> unit;
+  sink_stats : unit -> int * int;  (** (peak live lines, retired entries) *)
+}
+(** An online consumer of the emission stream. A streaming collector
+    forwards every emission here instead of accumulating it, so a checked
+    run holds O(live state) instead of O(history); {!Stream.sink} builds
+    one over the incremental oracles. Plain closures — no module dependency
+    from here onto the streaming checker. *)
+
 type t
 
 val create : cores:int -> t
+(** A post hoc (accumulating) collector: everything is retained for
+    {!Verdict.evaluate} after the run. *)
+
+val create_streaming : cores:int -> sink -> t
+(** A streaming collector: emissions are forwarded to [sink] in emission
+    order and discarded; {!entries}/{!witnesses}/{!lock_events}/
+    {!decisions} stay empty. Witness [seq] assignment and
+    {!commit_count} work identically in both modes. *)
 
 val cores : t -> int
+
+val is_streaming : t -> bool
+
+val stream_stats : t -> (int * int) option
+(** [sink_stats] passthrough — [None] on accumulating collectors. The
+    engine folds this into its perf counters at end of run. *)
 
 val set_initial : t -> Mem.Store.image -> unit
 (** Memory snapshot taken after workload setup, before any simulated cycle.

@@ -60,32 +60,58 @@ let replay_witness mem (w : Witness.t) =
   in
   compare_logs 0 w.stores got
 
-let run ~initial ~entries ~final =
+(* ------------------------------------------------------------------ *)
+(* Windowed cursor: the incremental face of the oracle. The rolling store
+   is the only state carried between steps — a replayed prefix is folded
+   into it and discarded, so streaming replay holds O(touched words), not
+   O(history). [run] below is a thin loop over the cursor. *)
+
+type cursor = { mem : Mem.Store.t }
+
+let start ~initial =
   (* The replay store shares every untouched chunk with [initial] — and,
      transitively, with the simulation's [final] image — so the closing
      comparison only scans chunks one of the two sides actually wrote. *)
-  let mem = Mem.Store.of_snapshot initial in
-  try
-    List.iter
-      (function
-        | Collector.Commit w -> replay_witness mem w
-        | Collector.Driver_writes { stores; _ } ->
-            List.iter (fun (a, v) -> Mem.Store.write mem a v) stores)
-      entries;
-    let replayed = Mem.Store.snapshot mem in
-    if Mem.Store.image_words replayed <> Mem.Store.image_words final then
-      Error
-        (Memory_mismatch
-           {
-             addr = 0;
-             replayed = Mem.Store.image_words replayed;
-             simulated = Mem.Store.image_words final;
-             differing = -1;
-           })
-    else begin
-      match Mem.Store.image_diff replayed final with
-      | None -> Ok ()
-      | Some (addr, replayed, simulated, differing) ->
-          Error (Memory_mismatch { addr; replayed; simulated; differing })
-    end
-  with Diverged d -> Error d
+  { mem = Mem.Store.of_snapshot initial }
+
+let step cur (w : Witness.t) =
+  match replay_witness cur.mem w with
+  | () -> Ok ()
+  | exception Diverged d -> Error d
+
+let apply_driver_writes cur stores = List.iter (fun (a, v) -> Mem.Store.write cur.mem a v) stores
+
+let finish cur ~final =
+  let replayed = Mem.Store.snapshot cur.mem in
+  if Mem.Store.image_words replayed <> Mem.Store.image_words final then
+    Error
+      (Memory_mismatch
+         {
+           addr = 0;
+           replayed = Mem.Store.image_words replayed;
+           simulated = Mem.Store.image_words final;
+           differing = -1;
+         })
+  else begin
+    match Mem.Store.image_diff replayed final with
+    | None -> Ok ()
+    | Some (addr, replayed, simulated, differing) ->
+        Error (Memory_mismatch { addr; replayed; simulated; differing })
+  end
+
+let run ~initial ~entries ~final =
+  let cur = start ~initial in
+  let fed =
+    List.fold_left
+      (fun acc entry ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+            match entry with
+            | Collector.Commit w -> step cur w
+            | Collector.Driver_writes { stores; _ } ->
+                apply_driver_writes cur stores;
+                Ok ()))
+      (Ok ()) entries
+  in
+  match fed with Error _ as e -> e | Ok () -> finish cur ~final

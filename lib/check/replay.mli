@@ -35,12 +35,38 @@ type divergence =
 
 val pp_divergence : Format.formatter -> divergence -> unit
 
+(** {1 Windowed cursor}
+
+    The incremental face of the oracle, used by {!Stream}: each committed
+    prefix is replayed into the rolling store and discarded, so an online
+    checker carries O(touched memory words), never the witness history. *)
+
+type cursor
+
+val start : initial:Mem.Store.image -> cursor
+(** A fresh replay store built from [initial] (COW — shares every untouched
+    chunk with the simulation's store). *)
+
+val step : cursor -> Witness.t -> (unit, divergence) result
+(** Replay one committed witness, in commit order, folding its stores into
+    the rolling store. After an [Error] the cursor is dead — report and
+    stop. *)
+
+val apply_driver_writes : cursor -> (Mem.Addr.t * int) list -> unit
+(** Apply a driver's non-transactional writes at their recorded stream
+    position. *)
+
+val finish : cursor -> final:Mem.Store.image -> (unit, divergence) result
+(** Whole-image backstop: the rolling store must be bit-identical to the
+    simulated final memory. *)
+
 val run :
   initial:Mem.Store.image ->
   entries:Collector.entry list ->
   final:Mem.Store.image ->
   (unit, divergence) result
 (** [run ~initial ~entries ~final] replays [entries] on a store built from
-    [initial] and compares against [final]. Both images share untouched
+    [initial] and compares against [final] — {!start}/{!step}/{!finish}
+    over a complete per-run entry list. Both images share untouched
     chunks with the simulation's store, so the whole-image comparison costs
     O(words actually written) rather than O(memory size). *)

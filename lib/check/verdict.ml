@@ -30,6 +30,8 @@ let run_static_gate gate collector =
   | Ok () -> all check_decision (Collector.decisions collector)
 
 let evaluate ?static_gate collector ~final =
+  if Collector.is_streaming collector then
+    invalid_arg "Verdict.evaluate: streaming collector retains no history; use of_stream";
   let initial =
     match Collector.initial collector with
     | Some snap -> snap
@@ -41,6 +43,16 @@ let evaluate ?static_gate collector ~final =
     replay = Replay.run ~initial ~entries:(Collector.entries collector) ~final;
     locks = Lock_safety.check ~cores:(Collector.cores collector) (Collector.lock_events collector);
     static_ = Option.map (fun gate -> run_static_gate gate collector) static_gate;
+  }
+
+let of_stream stream ~final =
+  let r = Stream.finish stream ~final in
+  {
+    commits = r.Stream.commits;
+    serial = r.Stream.serial;
+    replay = r.Stream.replay;
+    locks = r.Stream.locks;
+    static_ = r.Stream.static_;
   }
 
 let pp_oracle fmt name pp_err = function

@@ -20,6 +20,12 @@ val evaluate : ?static_gate:Staticcheck.Gate.t -> Collector.t -> final:Mem.Store
     collector never received an initial snapshot (i.e. the engine was not
     created with it). *)
 
+val of_stream : Stream.t -> final:Mem.Store.image -> t
+(** Close a streaming checker ({!Stream.finish}) and package its results.
+    For the same run, the verdict is identical — field for field, including
+    which violation is reported first — to {!evaluate} over an accumulating
+    collector; only the peak memory differs. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line report: one PASS/FAIL line per oracle, violation details on
     failure. *)

@@ -37,6 +37,7 @@ type suite = {
 val run_suite :
   ?jobs:int ->
   ?check:bool ->
+  ?stream:bool ->
   ?cache:bool ->
   ?pdes:Machine.Pdes.t ->
   ?workloads:Machine.Workload.t list ->
@@ -49,7 +50,8 @@ val run_suite :
     and explicitly seeded, and aggregation order does not depend on [jobs].
     With [~check:true] every simulation in the sweep is validated by the
     execution oracle inside the worker; the first violation raises
-    {!Run.Check_failed}. With [~cache:true] each simulation is memoised on
+    {!Run.Check_failed}. Adding [~stream:true] runs those oracles online
+    ({!Check.Stream}) with bounded checker memory and an identical verdict. With [~cache:true] each simulation is memoised on
     disk as one {!Suite_cache} shard keyed by (config, workload, seed) and
     the executable digest; only missing shards are simulated, and hits are
     spliced back in task order so partially cached sweeps aggregate

@@ -36,19 +36,33 @@ let static_gate_of_config (cfg : Machine.Config.t) =
        ~sq_entries:cfg.sq_entries ~rob_entries:cfg.rob_entries ~crt_entries:cfg.crt_entries
        ~crt_ways:cfg.crt_ways cfg.mem_params)
 
-let run_sim_checked ?pdes { cfg; workload; seed } =
+let run_sim_checked ?pdes ?(stream = false) { cfg; workload; seed } =
   let cfg = Machine.Config.with_seed cfg seed in
-  let collector = Check.Collector.create ~cores:cfg.Machine.Config.cores in
-  let engine = Machine.Engine.create ~check:collector cfg workload in
-  let stats = Machine.Engine.run ?pdes engine in
-  let final = Mem.Store.snapshot (Machine.Engine.store engine) in
-  (stats, Check.Verdict.evaluate ~static_gate:(static_gate_of_config cfg) collector ~final)
+  let cores = cfg.Machine.Config.cores in
+  if stream then begin
+    (* Online path: the collector forwards every emission into the
+       incremental oracles and retains nothing; the verdict is identical
+       to the post hoc branch below (DESIGN.md §14). *)
+    let str = Check.Stream.create ~static_gate:(static_gate_of_config cfg) ~cores () in
+    let collector = Check.Collector.create_streaming ~cores (Check.Stream.sink str) in
+    let engine = Machine.Engine.create ~check:collector cfg workload in
+    let stats = Machine.Engine.run ?pdes engine in
+    let final = Mem.Store.snapshot (Machine.Engine.store engine) in
+    (stats, Check.Verdict.of_stream str ~final)
+  end
+  else begin
+    let collector = Check.Collector.create ~cores in
+    let engine = Machine.Engine.create ~check:collector cfg workload in
+    let stats = Machine.Engine.run ?pdes engine in
+    let final = Mem.Store.snapshot (Machine.Engine.store engine) in
+    (stats, Check.Verdict.evaluate ~static_gate:(static_gate_of_config cfg) collector ~final)
+  end
 
 (* Pool-friendly variant: same signature as [run_sim], turns a failed verdict
    into an exception (which [Simrt.Pool.parallel_map] propagates to the
    submitting domain). *)
-let run_sim_enforce ?pdes sim =
-  let stats, verdict = run_sim_checked ?pdes sim in
+let run_sim_enforce ?pdes ?stream sim =
+  let stats, verdict = run_sim_checked ?pdes ?stream sim in
   if Check.Verdict.ok verdict then stats
   else
     raise
@@ -57,7 +71,7 @@ let run_sim_enforce ?pdes sim =
             (Machine.Config.preset_letter sim.cfg) sim.seed
             (Check.Verdict.to_string verdict)))
 
-let runner ?pdes ~check = if check then run_sim_enforce ?pdes else run_sim ?pdes
+let runner ?pdes ?stream ~check = if check then run_sim_enforce ?pdes ?stream else run_sim ?pdes
 
 let tmean ~trim xs = Summary.trimmed_mean ~trim xs
 

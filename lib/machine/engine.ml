@@ -979,6 +979,18 @@ let sync_open_perf t =
       t.perf.open_completed <- t.perf.open_completed + Openq.completed oq;
       t.perf.open_qdepth_hw <- max t.perf.open_qdepth_hw (Openq.qdepth_hw oq)
 
+(* Streaming-oracle memory counters, synced once at end of run like the
+   open-queue totals above. Accumulating collectors report nothing here. *)
+let sync_check_perf t =
+  match t.check with
+  | None -> ()
+  | Some col -> (
+      match Check.Collector.stream_stats col with
+      | None -> ()
+      | Some (live_hw, retired) ->
+          t.perf.check_live_lines <- max t.perf.check_live_lines live_hw;
+          t.perf.check_retired <- t.perf.check_retired + retired)
+
 let livelock_fail t =
   let dump =
     Array.to_list t.cores
@@ -1042,6 +1054,7 @@ let run_sequential ~max_cycles t =
   t.perf.sims <- t.perf.sims + 1;
   t.perf.allocated_words <- t.perf.allocated_words + int_of_float (gc_words () -. words_before);
   sync_open_perf t;
+  sync_check_perf t;
   t.stats
 
 (* ------------------------------------------------------------------ *)
@@ -1184,7 +1197,7 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
     time
   in
   let sorted_distinct arr =
-    Array.sort compare arr;
+    Array.sort Int.compare arr;
     let m = Array.length arr in
     if m <= 1 then arr
     else begin
@@ -1423,6 +1436,7 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
   t.perf.sims <- t.perf.sims + 1;
   t.perf.allocated_words <- t.perf.allocated_words + int_of_float (gc_words () -. words_before);
   sync_open_perf t;
+  sync_check_perf t;
   t.stats
 
 let run ?(max_cycles = 4_000_000_000) ?pdes t =

@@ -21,7 +21,12 @@ let generate ~rate ~requests ~process rng =
     match (process : Config.open_process) with
     | Config.Open_poisson ->
         fun () ->
-          let u = Simrt.Rng.float rng 1.0 in
+          (* Clamp the draw away from 1.0: [Rng.float] covers [0, 1), so
+             log (1 - u) can reach -inf and int_of_float of a non-finite
+             float is unspecified. The clamp caps a gap at ~13.8 means —
+             beyond any plausible sample — and leaves every draw below the
+             threshold, i.e. all but ~1 in 10^6, bit-identical. *)
+          let u = Float.min (Simrt.Rng.float rng 1.0) 0.999999 in
           max 1 (int_of_float (Float.round (-.mean *. log (1.0 -. u))))
     | Config.Open_burst { heat } ->
         (* E[lo + span * u^(1+heat)] = lo + span/(2+heat); pick the span so

@@ -16,6 +16,13 @@
 
 type t
 
+val generate : rate:float -> requests:int -> process:Config.open_process -> Simrt.Rng.t -> int array
+(** The raw arrival schedule (absolute arrival times, strictly increasing)
+    {!create} draws. Exposed so tests can pin the interarrival stream
+    bit-for-bit; gaps are clamped to ≥ 1 cycle, and the Poisson draw is
+    clamped away from 1.0 so a tail sample can never overflow to a
+    non-finite gap. *)
+
 val create : Config.open_queue -> Simrt.Rng.t -> t
 (** Draws all [open_requests] interarrival gaps up front (each clamped to
     ≥ 1 cycle). [Open_poisson] uses inverse-CDF exponential sampling with

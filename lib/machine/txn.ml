@@ -62,7 +62,7 @@ let footprint t =
   Simrt.Lineset.iter t.write_set (fun l ->
       if not (Simrt.Lineset.mem t.read_set l) then acc := l :: !acc);
   Simrt.Lineset.iter t.read_set (fun l -> acc := l :: !acc);
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let footprint_size t =
   let extra = ref 0 in

@@ -102,7 +102,7 @@ let unlock t ~core line =
 let locked_lines t ~core =
   match Hashtbl.find_opt t.locked core with
   | None -> []
-  | Some tbl -> Hashtbl.fold (fun line () acc -> line :: acc) tbl [] |> List.sort compare
+  | Some tbl -> Hashtbl.fold (fun line () acc -> line :: acc) tbl [] |> List.sort Int.compare
 
 let unlock_all t ~core =
   match Hashtbl.find_opt t.locked core with

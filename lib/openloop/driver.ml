@@ -17,30 +17,55 @@ type t = {
   sojourn : Report.Percentile.t option;
   wait : Report.Percentile.t option;
   checked : bool;
+  stream : bool;
   oracle_ok : bool;
+  events : int;  (** engine events popped — the oracle's stream length scale *)
+  check_live_lines : int;  (** streaming-checker live-line high-water mark *)
+  check_retired : int;  (** checker entries retired behind the frontier *)
 }
 
-let run_point ?pdes ?(check = false) (cfg : Config.t) (workload : Machine.Workload.t) =
+let run_point ?pdes ?(check = false) ?(stream = false) (cfg : Config.t)
+    (workload : Machine.Workload.t) =
   let q =
     match cfg.Config.openloop with
     | Some q -> q
     | None -> invalid_arg "Openloop.Driver.run_point: config has no open queue"
   in
+  let stream = check && stream in
+  (* [streamer] holds the online checker when streaming; the collector then
+     forwards emissions instead of accumulating them, which is what keeps
+     always-on checking affordable at open-system history lengths. *)
+  let streamer =
+    if stream then
+      Some
+        (Check.Stream.create
+           ~static_gate:(Clear_repro.Run.static_gate_of_config cfg)
+           ~cores:cfg.Config.cores ())
+    else None
+  in
   let collector =
-    if check then Some (Check.Collector.create ~cores:cfg.Config.cores) else None
+    match streamer with
+    | Some str ->
+        Some (Check.Collector.create_streaming ~cores:cfg.Config.cores (Check.Stream.sink str))
+    | None ->
+        if check then Some (Check.Collector.create ~cores:cfg.Config.cores) else None
   in
   let engine = Machine.Engine.create ?check:collector cfg workload in
   let stats = Machine.Engine.run ?pdes engine in
   let oracle_ok =
-    match collector with
-    | None -> true
-    | Some col ->
+    match (streamer, collector) with
+    | _, None -> true
+    | Some str, _ ->
+        let final = Mem.Store.snapshot (Machine.Engine.store engine) in
+        Check.Verdict.ok (Check.Verdict.of_stream str ~final)
+    | None, Some col ->
         let final = Mem.Store.snapshot (Machine.Engine.store engine) in
         Check.Verdict.ok
           (Check.Verdict.evaluate
              ~static_gate:(Clear_repro.Run.static_gate_of_config cfg)
              col ~final)
   in
+  let perf = Machine.Engine.perfctr engine in
   let oq =
     match Machine.Engine.openq engine with
     | Some oq -> oq
@@ -63,7 +88,11 @@ let run_point ?pdes ?(check = false) (cfg : Config.t) (workload : Machine.Worklo
     sojourn = Report.Percentile.of_samples (Machine.Openq.sojourns oq);
     wait = Report.Percentile.of_samples (Machine.Openq.waits oq);
     checked = check;
+    stream;
     oracle_ok;
+    events = perf.Simrt.Perfctr.events_popped;
+    check_live_lines = perf.Simrt.Perfctr.check_live_lines;
+    check_retired = perf.Simrt.Perfctr.check_retired;
   }
 
 let percentile_json = function
@@ -89,5 +118,9 @@ let to_json r =
       ("sojourn", percentile_json r.sojourn);
       ("wait", percentile_json r.wait);
       ("checked", Report.Json.Bool r.checked);
+      ("stream", Report.Json.Bool r.stream);
       ("oracle_ok", Report.Json.Bool r.oracle_ok);
+      ("events", Report.Json.Int r.events);
+      ("check_live_lines", Report.Json.Int r.check_live_lines);
+      ("check_retired", Report.Json.Int r.check_retired);
     ]

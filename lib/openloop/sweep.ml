@@ -12,6 +12,7 @@ type options = {
   seed : int;
   jobs : int;
   check : bool;
+  stream : bool;
   pdes : Machine.Pdes.t option;
 }
 
@@ -40,6 +41,7 @@ let default_options =
     seed = 42;
     jobs = 1;
     check = false;
+    stream = false;
     pdes = None;
   }
 
@@ -69,7 +71,7 @@ let run (o : options) =
   (* Order-preserving map: results line up with the (config, load) grid, so
      the emitted curve is identical at any job count. *)
   Simrt.Pool.parallel_map ~jobs:o.jobs
-    (fun (cfg, check) -> Driver.run_point ?pdes:o.pdes ~check cfg workload)
+    (fun (cfg, check) -> Driver.run_point ?pdes:o.pdes ~check ~stream:o.stream cfg workload)
     tasks
 
 let to_json (o : options) results =

@@ -18,6 +18,7 @@ type options = {
   seed : int;
   jobs : int;
   check : bool;  (** oracle-check each config's lowest load point *)
+  stream : bool;  (** run those checks online ({!Check.Stream}) *)
   pdes : Machine.Pdes.t option;
 }
 

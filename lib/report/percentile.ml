@@ -21,7 +21,9 @@ let of_samples samples =
   if count = 0 then None
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    (* Int.compare, not polymorphic compare: this sort runs once per
+       (config, load) grid point over request-count-sized arrays. *)
+    Array.sort Int.compare sorted;
     let sum = Array.fold_left (fun acc v -> acc +. float_of_int v) 0.0 sorted in
     Some
       {

@@ -18,6 +18,8 @@ type t = {
   mutable open_dropped : int;
   mutable open_completed : int;
   mutable open_qdepth_hw : int;
+  mutable check_live_lines : int;
+  mutable check_retired : int;
 }
 
 let create () =
@@ -41,6 +43,8 @@ let create () =
     open_dropped = 0;
     open_completed = 0;
     open_qdepth_hw = 0;
+    check_live_lines = 0;
+    check_retired = 0;
   }
 
 let reset t =
@@ -62,7 +66,9 @@ let reset t =
   t.open_arrivals <- 0;
   t.open_dropped <- 0;
   t.open_completed <- 0;
-  t.open_qdepth_hw <- 0
+  t.open_qdepth_hw <- 0;
+  t.check_live_lines <- 0;
+  t.check_retired <- 0
 
 let merge_into ~dst src =
   dst.sims <- dst.sims + src.sims;
@@ -83,7 +89,9 @@ let merge_into ~dst src =
   dst.open_arrivals <- dst.open_arrivals + src.open_arrivals;
   dst.open_dropped <- dst.open_dropped + src.open_dropped;
   dst.open_completed <- dst.open_completed + src.open_completed;
-  dst.open_qdepth_hw <- max dst.open_qdepth_hw src.open_qdepth_hw
+  dst.open_qdepth_hw <- max dst.open_qdepth_hw src.open_qdepth_hw;
+  dst.check_live_lines <- max dst.check_live_lines src.check_live_lines;
+  dst.check_retired <- dst.check_retired + src.check_retired
 
 let mean_lookahead t =
   if t.pdes_windows = 0 then 0.
@@ -110,4 +118,6 @@ let to_list t =
     ("open_dropped", t.open_dropped);
     ("open_completed", t.open_completed);
     ("open_qdepth_hw", t.open_qdepth_hw);
+    ("check_live_lines", t.check_live_lines);
+    ("check_retired", t.check_retired);
   ]

@@ -33,6 +33,12 @@ type t = {
   mutable open_dropped : int;  (** requests dropped at saturation (queue cap hit) *)
   mutable open_completed : int;  (** requests that committed their AR *)
   mutable open_qdepth_hw : int;  (** queue-depth high-water mark *)
+  mutable check_live_lines : int;
+      (** streaming-oracle live-line high-water mark (lines still holding
+          checker state; 0 for unchecked or post hoc-checked runs) *)
+  mutable check_retired : int;
+      (** checker entries retired by the streaming oracle's committed
+          frontier (see DESIGN.md §14) *)
 }
 
 val create : unit -> t
@@ -40,8 +46,8 @@ val create : unit -> t
 val reset : t -> unit
 
 val merge_into : dst:t -> t -> unit
-(** Counters add; [pdes_lookahead_max] and [open_qdepth_hw] take the
-    maximum. *)
+(** Counters add; [pdes_lookahead_max], [open_qdepth_hw] and
+    [check_live_lines] take the maximum. *)
 
 val mean_lookahead : t -> float
 (** [pdes_lookahead_total / pdes_windows]; 0 when no window ran. *)

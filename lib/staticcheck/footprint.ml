@@ -104,7 +104,7 @@ let lines_for t ~init =
     else begin
       let lines = Hashtbl.fold (fun l () acc -> l :: acc) tbl [] in
       let arr = Array.of_list lines in
-      Array.sort compare arr;
+      Array.sort Int.compare arr;
       Some arr
     end
   end

@@ -63,6 +63,46 @@ let test_serial_rejects_future_read () =
   | Ok () -> Alcotest.fail "future read not detected"
   | Error v -> Alcotest.(check bool) "kind is Wr" true (v.Check.Serial.kind = Check.Serial.Wr)
 
+let test_serial_wr_fields () =
+  (* The Wr arm must report the reader as the earlier node, the writer as
+     the later one, and quote both times. *)
+  let a = witness ~seq:0 ~time:60 ~core:0 ~reads:[ (3, 50) ] () in
+  let b = witness ~seq:1 ~time:70 ~core:1 ~mode:Check.Witness.Nscl ~writes:[ (3, 30) ] () in
+  match check_serial [ a; b ] with
+  | Ok () -> Alcotest.fail "future read not detected"
+  | Error v ->
+      Alcotest.(check bool) "kind is Wr" true (v.Check.Serial.kind = Check.Serial.Wr);
+      Alcotest.(check int) "line" 3 v.Check.Serial.line;
+      Alcotest.(check int) "earlier is the reader" 0 v.Check.Serial.earlier.Check.Witness.seq;
+      Alcotest.(check int) "later is the writer" 1 v.Check.Serial.later.Check.Witness.seq;
+      Alcotest.(check bool) "detail quotes the read time" true
+        (contains_sub v.Check.Serial.detail "t=50");
+      Alcotest.(check bool) "detail quotes the visibility" true
+        (contains_sub v.Check.Serial.detail "t=30")
+
+let test_serial_wr_self_read_excluded () =
+  (* A direct-mode witness that reads its own line after its first write has
+     tr > vis against itself — same commit, no cycle; the seq guard must
+     exclude it. *)
+  let w =
+    witness ~seq:0 ~time:60 ~core:0 ~mode:Check.Witness.Nscl ~reads:[ (3, 50) ]
+      ~writes:[ (3, 30) ] ()
+  in
+  Alcotest.(check bool) "own later read not a Wr" true (Result.is_ok (check_serial [ w ]));
+  (* ...and the state it leaves behind still works for later commits. *)
+  let c = witness ~seq:1 ~time:80 ~core:1 ~reads:[ (3, 70) ] () in
+  Alcotest.(check bool) "subsequent read of the written line clean" true
+    (Result.is_ok (check_serial [ w; c ]))
+
+let test_serial_wr_boundaries () =
+  (* Reads strictly before — or exactly at — the later writer's visibility
+     do not close a Wr cycle (ties are benign, DESIGN.md §9). *)
+  let before = witness ~seq:0 ~time:60 ~core:0 ~reads:[ (3, 20) ] () in
+  let tie = witness ~seq:0 ~time:60 ~core:0 ~reads:[ (3, 30) ] () in
+  let wr = witness ~seq:1 ~time:70 ~core:1 ~mode:Check.Witness.Nscl ~writes:[ (3, 30) ] () in
+  Alcotest.(check bool) "read before visibility ok" true (Result.is_ok (check_serial [ before; wr ]));
+  Alcotest.(check bool) "read at visibility (tie) ok" true (Result.is_ok (check_serial [ tie; wr ]))
+
 let test_serial_buffered_concurrent_ok () =
   (* Buffered writers that both read before either commit are fine as long
      as neither read the other's line. *)
@@ -311,6 +351,218 @@ let test_suite_checked_smoke () =
   Alcotest.(check int) "two rows" 2 (List.length suite.Clear_repro.Experiments.rows)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming checker: Check.Stream fed the same emissions must agree with
+   the post hoc oracles — on hand-built histories and on full engine runs —
+   while retiring state behind the committed frontier. *)
+
+(* Replay a hand-built history through a Stream in engine order: each
+   witness's attempt events and commit merged into one non-decreasing time
+   stream, commits before same-cycle attempt ends (the engine's order). *)
+let stream_over ?(sweep_every = 1) ws =
+  let begin_of (w : Check.Witness.t) =
+    List.fold_left
+      (fun acc (_, t) -> min acc t)
+      w.Check.Witness.time
+      (w.Check.Witness.reads @ w.Check.Witness.writes)
+  in
+  let events =
+    List.concat_map
+      (fun (w : Check.Witness.t) ->
+        [ (begin_of w, `Begin w); (w.Check.Witness.time, `Commit w); (w.Check.Witness.time, `End w) ])
+      ws
+  in
+  let events = List.stable_sort (fun (t1, _) (t2, _) -> Int.compare t1 t2) events in
+  let str = Check.Stream.create ~sweep_every ~cores:8 () in
+  Check.Stream.set_initial str (image_of (Array.make 16 0));
+  List.iter
+    (fun (t, e) ->
+      match e with
+      | `Begin (w : Check.Witness.t) ->
+          Check.Stream.add_lock_event str
+            (Check.Lock_safety.Attempt_begin { time = t; core = w.Check.Witness.core })
+      | `Commit w -> Check.Stream.add_commit str w
+      | `End (w : Check.Witness.t) ->
+          Check.Stream.add_lock_event str
+            (Check.Lock_safety.Attempt_end { time = t; core = w.Check.Witness.core }))
+    events;
+  (Check.Stream.finish str ~final:(image_of (Array.make 16 0)), Check.Stream.stats str)
+
+let serial_fingerprint = function
+  | Ok () -> None
+  | Error v ->
+      Some
+        ( v.Check.Serial.kind,
+          v.Check.Serial.line,
+          v.Check.Serial.earlier.Check.Witness.seq,
+          v.Check.Serial.later.Check.Witness.seq )
+
+let test_stream_matches_serial_on_unit_histories () =
+  let histories =
+    [
+      ( "serial",
+        [
+          witness ~seq:0 ~time:10 ~core:0 ~writes:[ (1, 5) ] ~stores:[] ();
+          witness ~seq:1 ~time:30 ~core:1 ~reads:[ (1, 20) ] ();
+        ] );
+      ( "rw",
+        [
+          witness ~seq:0 ~time:10 ~core:0 ~writes:[ (1, 5) ] ();
+          witness ~seq:1 ~time:30 ~core:1 ~reads:[ (1, 5) ] ~writes:[ (1, 6) ] ();
+        ] );
+      ( "ww",
+        [
+          witness ~seq:0 ~time:30 ~core:0 ~mode:Check.Witness.Nscl ~writes:[ (2, 20) ] ();
+          witness ~seq:1 ~time:40 ~core:1 ~mode:Check.Witness.Fallback ~writes:[ (2, 10) ] ();
+        ] );
+      ( "wr",
+        [
+          witness ~seq:0 ~time:60 ~core:0 ~reads:[ (3, 50) ] ();
+          witness ~seq:1 ~time:70 ~core:1 ~mode:Check.Witness.Nscl ~writes:[ (3, 30) ] ();
+        ] );
+      ( "disjoint",
+        [
+          witness ~seq:0 ~time:10 ~core:0 ~reads:[ (1, 2) ] ~writes:[ (1, 3) ] ();
+          witness ~seq:1 ~time:11 ~core:1 ~reads:[ (2, 2) ] ~writes:[ (2, 3) ] ();
+        ] );
+    ]
+  in
+  List.iter
+    (fun (label, ws) ->
+      let posthoc = serial_fingerprint (Check.Serial.check ws) in
+      List.iter
+        (fun sweep_every ->
+          let results, _stats = stream_over ~sweep_every ws in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s sweep_every=%d agrees" label sweep_every)
+            true
+            (serial_fingerprint results.Check.Stream.serial = posthoc);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s replay clean" label)
+            true
+            (Result.is_ok results.Check.Stream.replay);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s locks clean" label)
+            true
+            (Result.is_ok results.Check.Stream.locks))
+        [ 1; 2; 512 ])
+    histories
+
+let test_stream_retires_behind_frontier () =
+  (* 1000 back-to-back attempts, each touching its own pair of lines (one
+     read-only, one written): nothing ever overwrites that state, so a post
+     hoc checker would hold 2000 entries — the frontier passes each commit
+     as soon as the next attempt begins, so the stream retires nearly
+     everything and peak live state is bounded by the sweep window, not the
+     history. *)
+  let n = 1000 in
+  let ws =
+    List.init n (fun i ->
+        witness ~seq:i
+          ~time:((i * 10) + 9)
+          ~core:(i mod 4)
+          ~reads:[ (2 * i, (i * 10) + 1); ((2 * i) + 1, (i * 10) + 2) ]
+          ~writes:[ ((2 * i) + 1, (i * 10) + 5) ]
+          ())
+  in
+  Alcotest.(check bool) "history is serializable" true (Result.is_ok (Check.Serial.check ws));
+  let results, stats = stream_over ~sweep_every:8 ws in
+  Alcotest.(check bool) "stream agrees" true (Result.is_ok results.Check.Stream.serial);
+  Alcotest.(check int) "all commits seen" n stats.Check.Stream.commits;
+  Alcotest.(check bool) "live lines bounded by the sweep window" true
+    (stats.Check.Stream.peak_live_lines <= (2 * 8) + 2);
+  Alcotest.(check bool) "live entries bounded by the sweep window" true
+    (stats.Check.Stream.peak_live_entries <= (2 * 8) + 2);
+  Alcotest.(check bool) "nearly all entries retired" true
+    (stats.Check.Stream.retired >= (2 * n) - 20)
+
+let test_stream_sweep_every_validated () =
+  Alcotest.check_raises "sweep_every < 1 rejected"
+    (Invalid_argument "Stream.create: sweep_every must be >= 1") (fun () ->
+      ignore (Check.Stream.create ~sweep_every:0 ~cores:4 ()))
+
+let test_stream_requires_initial () =
+  let str = Check.Stream.create ~cores:4 () in
+  Check.Stream.add_commit str (witness ~seq:0 ~time:10 ~core:0 ());
+  Alcotest.check_raises "finish without initial snapshot"
+    (Invalid_argument "Stream.finish: no initial snapshot was fed") (fun () ->
+      ignore (Check.Stream.finish str ~final:(image_of (Array.make 16 0))))
+
+let test_streaming_collector_rejects_posthoc_evaluate () =
+  (* A streaming collector keeps no history; asking it for a post hoc
+     verdict must fail loudly instead of reporting a hollow pass. *)
+  let str = Check.Stream.create ~cores:4 () in
+  let col = Check.Collector.create_streaming ~cores:4 (Check.Stream.sink str) in
+  Alcotest.(check bool) "collector marked streaming" true (Check.Collector.is_streaming col);
+  Alcotest.check_raises "evaluate refused"
+    (Invalid_argument "Verdict.evaluate: streaming collector retains no history; use of_stream")
+    (fun () -> ignore (Check.Verdict.evaluate col ~final:(image_of (Array.make 16 0))))
+
+let test_stream_end_to_end_agreement () =
+  (* Whole-engine runs: the streaming verdict must equal the post hoc one —
+     same report, byte for byte — on clean runs of all four presets. *)
+  List.iter
+    (fun (label, cfg) ->
+      let sim = { Run.cfg = small cfg; workload = Workloads.Mwobject.workload; seed = 7 } in
+      let _stats, posthoc = Run.run_sim_checked sim in
+      let _stats, streamed = Run.run_sim_checked ~stream:true sim in
+      Alcotest.(check bool) (label ^ " both clean") true
+        (Check.Verdict.ok posthoc && Check.Verdict.ok streamed);
+      Alcotest.(check string) (label ^ " same report") (Check.Verdict.to_string posthoc)
+        (Check.Verdict.to_string streamed))
+    [
+      ("B", Config.baseline);
+      ("P", Config.power_tm);
+      ("C", Config.clear_rw);
+      ("W", Config.clear_power);
+    ]
+
+let test_stream_catches_injected_bug () =
+  (* The fault_blind_line bug from test_injected_bug_caught must fail the
+     streaming path identically: same oracles flagged, same report. *)
+  let cfg =
+    { (small Config.baseline) with Config.ops_per_thread = 80; fault_blind_line = Some 0 }
+  in
+  let sim = { Run.cfg; workload = counter_workload; seed = 5 } in
+  let _stats, posthoc = Run.run_sim_checked sim in
+  let _stats, streamed = Run.run_sim_checked ~stream:true sim in
+  Alcotest.(check bool) "posthoc flags the bug" true (not (Check.Verdict.ok posthoc));
+  Alcotest.(check bool) "stream flags the bug" true (not (Check.Verdict.ok streamed));
+  Alcotest.(check string) "identical failure report" (Check.Verdict.to_string posthoc)
+    (Check.Verdict.to_string streamed)
+
+let test_stream_does_not_perturb () =
+  (* The observation-only contract extends to streaming: stats are
+     bit-identical to the unchecked run. *)
+  let sim = { Run.cfg = small Config.clear_power; workload = Workloads.Bst.workload; seed = 11 } in
+  let plain = Run.run_sim sim in
+  let streamed, verdict = Run.run_sim_checked ~stream:true sim in
+  Alcotest.(check bool) "verdict clean" true (Check.Verdict.ok verdict);
+  Alcotest.(check int) "same cycles" (Stats.total_cycles plain) (Stats.total_cycles streamed);
+  Alcotest.(check int) "same commits" (Stats.commits plain) (Stats.commits streamed);
+  Alcotest.(check int) "same aborts" (Stats.aborts plain) (Stats.aborts streamed)
+
+let test_stream_suite_smoke () =
+  let opts =
+    {
+      Clear_repro.Experiments.cores = 4;
+      ops_per_thread = 30;
+      seeds = [ 3 ];
+      trim = 0;
+      retry_choices = [ 2 ];
+      sched = Sched.Profile.symmetric;
+    }
+  in
+  let run stream =
+    Clear_repro.Experiments.run_suite ~jobs:2 ~check:true ~stream
+      ~workloads:[ Workloads.Stack.workload; Workloads.Mwobject.workload ]
+      opts
+  in
+  (* Streaming validation accepts the same suite and measures identically. *)
+  let a = run false and b = run true in
+  Alcotest.(check bool) "same rows" true
+    (a.Clear_repro.Experiments.rows = b.Clear_repro.Experiments.rows)
+
+(* ------------------------------------------------------------------ *)
 (* Trace: Unlocked events, dump clamp, Chrome export *)
 
 let traced_run cfg workload =
@@ -370,6 +622,9 @@ let () =
           Alcotest.test_case "rejects write inversion (WW)" `Quick
             test_serial_rejects_write_order_inversion;
           Alcotest.test_case "rejects future read (WR)" `Quick test_serial_rejects_future_read;
+          Alcotest.test_case "WR reports reader/writer/times" `Quick test_serial_wr_fields;
+          Alcotest.test_case "WR excludes self reads" `Quick test_serial_wr_self_read_excluded;
+          Alcotest.test_case "WR boundary times benign" `Quick test_serial_wr_boundaries;
           Alcotest.test_case "accepts disjoint concurrency" `Quick test_serial_buffered_concurrent_ok;
         ] );
       ( "lock safety",
@@ -393,6 +648,22 @@ let () =
           Alcotest.test_case "injected bug caught" `Quick test_injected_bug_caught;
           Alcotest.test_case "enforce raises" `Quick test_run_sim_enforce_raises;
           Alcotest.test_case "checked suite smoke" `Quick test_suite_checked_smoke;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "agrees on unit histories" `Quick
+            test_stream_matches_serial_on_unit_histories;
+          Alcotest.test_case "retires behind the frontier" `Quick test_stream_retires_behind_frontier;
+          Alcotest.test_case "sweep_every validated" `Quick test_stream_sweep_every_validated;
+          Alcotest.test_case "finish requires initial" `Quick test_stream_requires_initial;
+          Alcotest.test_case "post hoc evaluate refused" `Quick
+            test_streaming_collector_rejects_posthoc_evaluate;
+          Alcotest.test_case "end-to-end agreement (all presets)" `Quick
+            test_stream_end_to_end_agreement;
+          Alcotest.test_case "injected bug caught identically" `Quick
+            test_stream_catches_injected_bug;
+          Alcotest.test_case "streaming does not perturb" `Quick test_stream_does_not_perturb;
+          Alcotest.test_case "streamed suite identical" `Quick test_stream_suite_smoke;
         ] );
       ( "trace",
         [

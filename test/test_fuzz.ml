@@ -261,6 +261,158 @@ let test_numa_blind_fault_caught () =
   Alcotest.(check bool) "serializability or replay flagged" true
     (Result.is_error verdict.Check.Verdict.serial || Result.is_error verdict.Check.Verdict.replay)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming checker vs post hoc oracles.
+
+   Random witness streams respecting the engine's emission invariants —
+   per-core attempts never overlap, the merged event stream is
+   non-decreasing in time, reads/writes fall inside their attempt, commits
+   precede same-cycle attempt ends — must produce the same serializability
+   verdict from Check.Stream (at any retirement cadence) as from the post
+   hoc Check.Serial over the full history. *)
+
+let noop_ar = P.make_ar ~id:77 ~name:"noop" [| I.Halt |]
+
+type gen_attempt = {
+  g_core : int;
+  g_begin : int;
+  g_end : int;
+  g_reads : (int * int) list;
+  g_writes : (int * int) list;
+  g_mode : Check.Witness.mode;
+}
+
+let gen_attempts rng =
+  let gi bound = QCheck.Gen.generate1 ~rand:rng (QCheck.Gen.int_bound bound) in
+  let cores = 4 in
+  let cursor = Array.make cores 0 in
+  let n = 8 + gi 24 in
+  List.init n (fun _ ->
+      let core = gi (cores - 1) in
+      let b = cursor.(core) + 1 + gi 5 in
+      let e = b + 1 + gi 8 in
+      cursor.(core) <- e;
+      let span () = b + gi (e - b) in
+      let subset () =
+        List.filter_map (fun l -> if gi 2 = 0 then Some (l, span ()) else None) [ 0; 1; 2; 3; 4; 5 ]
+      in
+      let writes = subset () in
+      let mode =
+        match gi 3 with
+        | 0 -> Check.Witness.Speculative
+        | 1 -> Check.Witness.Scl
+        | 2 -> Check.Witness.Nscl
+        | _ -> Check.Witness.Fallback
+      in
+      { g_core = core; g_begin = b; g_end = e; g_reads = subset (); g_writes = writes; g_mode = mode })
+
+(* Merge the attempts into the engine's stream order and materialise the
+   commit-ordered witnesses: Attempt_begin at b, the commit then Attempt_end
+   at e, ties resolved by insertion order (earlier attempt first), exactly
+   as the sequential engine drains same-cycle events. *)
+let events_of_attempts attempts =
+  let raw =
+    List.concat_map
+      (fun a -> [ (a.g_begin, `Begin a); (a.g_end, `Commit a); (a.g_end, `End a) ])
+      attempts
+  in
+  let raw = List.stable_sort (fun (t1, _) (t2, _) -> Int.compare t1 t2) raw in
+  let seq = ref 0 in
+  List.map
+    (fun (t, e) ->
+      match e with
+      | `Begin a -> (t, `Begin a)
+      | `End a -> (t, `End a)
+      | `Commit a ->
+          let w =
+            {
+              Check.Witness.seq = !seq;
+              time = a.g_end;
+              core = a.g_core;
+              ar = noop_ar;
+              init_regs = [];
+              mode = a.g_mode;
+              retries = 0;
+              reads = a.g_reads;
+              writes = a.g_writes;
+              stores = [];
+            }
+          in
+          incr seq;
+          (t, `Witness w))
+    raw
+
+let serial_fingerprint = function
+  | Ok () -> None
+  | Error (v : Check.Serial.violation) ->
+      Some (v.Check.Serial.kind, v.Check.Serial.line, v.earlier.Check.Witness.seq, v.later.Check.Witness.seq)
+
+let prop_stream_matches_serial =
+  QCheck.Test.make ~name:"Check.Stream agrees with post hoc Check.Serial" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0x57e4 |] in
+      let events = events_of_attempts (gen_attempts rng) in
+      let ws = List.filter_map (function _, `Witness w -> Some w | _ -> None) events in
+      let posthoc = serial_fingerprint (Check.Serial.check ws) in
+      let zero = Store.image_of_array (Array.make 16 0) in
+      List.for_all
+        (fun sweep_every ->
+          let str = Check.Stream.create ~sweep_every ~cores:4 () in
+          Check.Stream.set_initial str zero;
+          List.iter
+            (fun (t, e) ->
+              match e with
+              | `Begin a ->
+                  Check.Stream.add_lock_event str
+                    (Check.Lock_safety.Attempt_begin { time = t; core = a.g_core })
+              | `Witness w -> Check.Stream.add_commit str w
+              | `End a ->
+                  Check.Stream.add_lock_event str
+                    (Check.Lock_safety.Attempt_end { time = t; core = a.g_core }))
+            events;
+          let results = Check.Stream.finish str ~final:zero in
+          Result.is_ok results.Check.Stream.replay
+          && Result.is_ok results.Check.Stream.locks
+          && serial_fingerprint results.Check.Stream.serial = posthoc)
+        [ 1; 2; 7; 512 ])
+
+let test_fuzz_stream_agrees_with_posthoc () =
+  (* Full engine runs: the streaming verdict equals the post hoc one byte
+     for byte on fuzzed workloads under every configuration. *)
+  for seed = 50 to 52 do
+    let w = gen_workload ~seed ~ar_count:3 in
+    List.iter
+      (fun (label, cfg) ->
+        let sim = { Clear_repro.Run.cfg = shape cfg; workload = w; seed } in
+        let _stats, posthoc = Clear_repro.Run.run_sim_checked sim in
+        let _stats, streamed = Clear_repro.Run.run_sim_checked ~stream:true sim in
+        Alcotest.(check string)
+          (Printf.sprintf "seed %d %s stream report" seed label)
+          (Check.Verdict.to_string posthoc)
+          (Check.Verdict.to_string streamed))
+      cfgs
+  done;
+  (* ...and on an injected bug: the numa-blind fault's failing verdict must
+     stream to the identical report. *)
+  let cfg =
+    Machine.Config.with_sched
+      {
+        Config.baseline with
+        Config.cores = 4;
+        ops_per_thread = 60;
+        memory_words = 1 lsl 16;
+        fault_numa_blind = true;
+      }
+      (Sched.Scenarios.find_exn "numa2x")
+  in
+  let sim = { Clear_repro.Run.cfg; workload = counter_workload; seed = 5 } in
+  let _stats, posthoc = Clear_repro.Run.run_sim_checked sim in
+  let _stats, streamed = Clear_repro.Run.run_sim_checked ~stream:true sim in
+  Alcotest.(check bool) "fault caught by stream" true (not (Check.Verdict.ok streamed));
+  Alcotest.(check string) "identical failing report" (Check.Verdict.to_string posthoc)
+    (Check.Verdict.to_string streamed)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -274,5 +426,11 @@ let () =
             test_fuzz_oracles_pass;
           Alcotest.test_case "numa-blind fault caught by oracles" `Quick
             test_numa_blind_fault_caught;
+        ] );
+      ( "streaming",
+        [
+          QCheck_alcotest.to_alcotest prop_stream_matches_serial;
+          Alcotest.test_case "engine runs stream to identical verdicts" `Quick
+            test_fuzz_stream_agrees_with_posthoc;
         ] );
     ]

@@ -102,6 +102,43 @@ let test_capbuf_growth () =
     (Check.Capbuf.reads c);
   Alcotest.(check int) "100 stores" 100 (List.length (Check.Capbuf.stores c))
 
+let test_capbuf_growth_boundary () =
+  (* Exactly [initial] = 16 entries fit without growth; the 17th append is
+     the growth trigger (grow fires when n = length) and must preserve every
+     earlier entry on each channel. *)
+  let c = Check.Capbuf.create () in
+  for i = 15 downto 0 do
+    Check.Capbuf.note_read c ~line:i ~time:(100 + i);
+    Check.Capbuf.note_write c ~line:i ~time:(200 + i);
+    Check.Capbuf.note_store c ~addr:i ~value:(-i)
+  done;
+  Alcotest.(check (list (pair int int))) "16 reads fill the initial arrays"
+    (List.init 16 (fun i -> (i, 100 + i)))
+    (Check.Capbuf.reads c);
+  (* A duplicate at the boundary must not grow or append... *)
+  Check.Capbuf.note_read c ~line:0 ~time:999;
+  Alcotest.(check int) "dup at the boundary ignored" 16 (List.length (Check.Capbuf.reads c));
+  (* ...while the 17th distinct entry grows and keeps all 16 predecessors. *)
+  Check.Capbuf.note_read c ~line:16 ~time:116;
+  Check.Capbuf.note_write c ~line:16 ~time:216;
+  Check.Capbuf.note_store c ~addr:16 ~value:(-16);
+  Alcotest.(check (list (pair int int))) "17 reads after growth"
+    (List.init 17 (fun i -> (i, 100 + i)))
+    (Check.Capbuf.reads c);
+  Alcotest.(check (list (pair int int))) "17 writes after growth"
+    (List.init 17 (fun i -> (i, 200 + i)))
+    (Check.Capbuf.writes c);
+  Alcotest.(check (list (pair int int))) "stores keep program order across growth"
+    (List.init 16 (fun i -> (15 - i, -(15 - i))) @ [ (16, -16) ])
+    (Check.Capbuf.stores c);
+  (* Reset then refill past the boundary again: the grown arrays are reused. *)
+  Check.Capbuf.reset c;
+  Alcotest.(check (list (pair int int))) "reset empties" [] (Check.Capbuf.reads c);
+  for i = 0 to 16 do
+    Check.Capbuf.note_read c ~line:(50 + i) ~time:i
+  done;
+  Alcotest.(check int) "refill past boundary" 17 (List.length (Check.Capbuf.reads c))
+
 (* Capture runs through the pooled buffers now; the observation-only
    contract must survive the pooling: a checked run's statistics are
    bit-identical to the unchecked run's, closed and open loop alike. *)
@@ -146,6 +183,32 @@ let test_pooled_capture_bit_identical_open () =
   Alcotest.(check bool) "same lifecycle + latency" true
     ({ checked with Driver.checked = false; oracle_ok = plain.Driver.oracle_ok } = plain)
 
+let test_streamed_point_bit_identical () =
+  (* The streaming checker is observation-only too: a --check --stream point
+     must agree with the unchecked point on every lifecycle and latency
+     field, report a clean oracle, and expose its memory counters. *)
+  let cfg = open_cfg Config.clear_rw in
+  let w = Lazy.force open_workload in
+  let plain = Driver.run_point ~check:false cfg w in
+  let streamed = Driver.run_point ~check:true ~stream:true cfg w in
+  Alcotest.(check bool) "oracle clean" true streamed.Driver.oracle_ok;
+  Alcotest.(check bool) "stream flag" true streamed.Driver.stream;
+  Alcotest.(check bool) "streamed point otherwise bit-identical" true
+    ({
+       streamed with
+       Driver.checked = false;
+       stream = false;
+       oracle_ok = plain.Driver.oracle_ok;
+       check_live_lines = plain.Driver.check_live_lines;
+       check_retired = plain.Driver.check_retired;
+     }
+    = plain);
+  Alcotest.(check bool) "live-line high water reported" true (streamed.Driver.check_live_lines > 0);
+  Alcotest.(check int) "unchecked point has no checker state" 0 plain.Driver.check_live_lines;
+  (* Streaming and post hoc verdicts agree on the same point. *)
+  let posthoc = Driver.run_point ~check:true cfg w in
+  Alcotest.(check bool) "posthoc agrees" posthoc.Driver.oracle_ok streamed.Driver.oracle_ok
+
 (* ------------------------------------------------------------------ *)
 (* Request-lifecycle conservation and saturation *)
 
@@ -179,6 +242,58 @@ let test_open_saturation_drops () =
     (r.Driver.admitted + r.Driver.dropped);
   Alcotest.(check int) "admitted all complete" r.Driver.admitted r.Driver.completed;
   Alcotest.(check bool) "queue high-water within cap" true (r.Driver.qdepth_hw <= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Arrival schedule: the Poisson draw is clamped away from 1.0 so a tail
+   sample can never overflow to a non-finite gap, and the stream is pinned
+   bit-for-bit against both a golden prefix and an independent
+   reimplementation of the draw loop. *)
+
+let test_openq_poisson_pinned () =
+  let rate = 80.0 and requests = 4096 in
+  let got =
+    Machine.Openq.generate ~rate ~requests ~process:Config.Open_poisson (Simrt.Rng.create 42)
+  in
+  (* Golden prefix for seed 42 at 80 req/kcycle. *)
+  Alcotest.(check (array int)) "golden prefix"
+    [| 17; 19; 23; 28; 29; 54; 57; 77; 82; 94 |]
+    (Array.sub got 0 10);
+  (* Independent reimplementation, clamp included, from the same seed. *)
+  let expected =
+    let rng = Simrt.Rng.create 42 in
+    let mean = 1000.0 /. rate in
+    let t = ref 0 in
+    Array.init requests (fun _ ->
+        let u = Float.min (Simrt.Rng.float rng 1.0) 0.999999 in
+        t := !t + max 1 (int_of_float (Float.round (-.mean *. log (1.0 -. u))));
+        !t)
+  in
+  Alcotest.(check (array int)) "bit-identical to the documented draw" expected got;
+  (* Every gap is >= 1 cycle and below the clamp's ~13.8-mean ceiling:
+     no draw can reach the non-finite region the clamp guards against. *)
+  let max_gap = int_of_float (ceil (1000.0 /. rate *. -.log (1.0 -. 0.999999))) in
+  let ok = ref true in
+  Array.iteri
+    (fun i t ->
+      let gap = t - if i = 0 then 0 else got.(i - 1) in
+      if gap < 1 || gap > max_gap then ok := false)
+    got;
+  Alcotest.(check bool) "gaps in [1, clamp ceiling]" true !ok
+
+let test_openq_burst_pinned () =
+  let gen () =
+    Machine.Openq.generate ~rate:80.0 ~requests:512
+      ~process:(Config.Open_burst { heat = 1.5 })
+      (Simrt.Rng.create 42)
+  in
+  let a = gen () in
+  Alcotest.(check (array int)) "golden prefix"
+    [| 20; 21; 23; 26; 27; 56; 57; 81; 84; 97 |]
+    (Array.sub a 0 10);
+  Alcotest.(check (array int)) "same seed, same schedule" a (gen ());
+  let ok = ref true in
+  Array.iteri (fun i t -> if t <= (if i = 0 then 0 else a.(i - 1)) then ok := false) a;
+  Alcotest.(check bool) "strictly increasing" true !ok
 
 (* ------------------------------------------------------------------ *)
 (* Determinism: job count and PDES must not change a byte of the sweep *)
@@ -267,10 +382,18 @@ let () =
         [
           Alcotest.test_case "dedup and order" `Quick test_capbuf_dedup_and_order;
           Alcotest.test_case "growth" `Quick test_capbuf_growth;
+          Alcotest.test_case "growth at the initial boundary" `Quick test_capbuf_growth_boundary;
           Alcotest.test_case "closed-loop stats bit-identical" `Quick
             test_pooled_capture_bit_identical_closed;
           Alcotest.test_case "open-loop stats bit-identical" `Quick
             test_pooled_capture_bit_identical_open;
+          Alcotest.test_case "streamed point bit-identical" `Quick
+            test_streamed_point_bit_identical;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "poisson schedule pinned" `Quick test_openq_poisson_pinned;
+          Alcotest.test_case "burst schedule pinned" `Quick test_openq_burst_pinned;
         ] );
       ( "lifecycle",
         [
