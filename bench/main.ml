@@ -287,6 +287,7 @@ let run_bechamel () =
    engine and the numbers would need plumbing back). *)
 let run_perf opts =
   let total = Simrt.Perfctr.create () in
+  let ws = match !only_workloads with Some l -> l | None -> ablation_workloads () in
   List.iter
     (fun (w : Machine.Workload.t) ->
       List.iter
@@ -299,11 +300,12 @@ let run_perf opts =
               Simrt.Perfctr.merge_into ~dst:total (Machine.Engine.perfctr eng))
             opts.Experiments.seeds)
         [ "B"; "P"; "C"; "W" ])
-    (ablation_workloads ());
+    ws;
   let t =
     Table.create
       ~title:
-        (Printf.sprintf "Engine hot-path counters (3 workloads x 4 configs x seeds, %s)"
+        (Printf.sprintf "Engine hot-path counters (%d workloads x 4 configs x seeds, %s)"
+           (List.length ws)
            (match !pdes with None -> "sequential" | Some p -> Machine.Pdes.describe p))
       ~columns:[ "Counter"; "Total" ]
   in

@@ -10,7 +10,10 @@
 #   2. HARD GATE: the PDES runs must not be more than 5% (plus a small
 #      absolute slack for timer noise on sub-second runs) slower than the
 #      sequential run — lookahead bookkeeping must pay for itself.
-#   3. Records min-of-3 wall times and the PDES perf counters in
+#   3. HARD GATE: bst must take extended-burst events (pdes_ext_events > 0)
+#      under --pdes — pointer-chasing footprints never enumerate exactly,
+#      so this pins the cover and phase-window insulation arms as live.
+#   4. Records min-of-3 wall times and the PDES perf counters in
 #      BENCH_pdes.json so the trajectory is tracked across PRs.
 #
 # On this repo's usual 1-core CI host the PDES driver cannot show a
@@ -90,6 +93,19 @@ echo "[pdes_smoke] PDES perf counters (--perf --pdes)..."
 PERF_JSON=$("$BIN" --smoke --perf --pdes 2>/dev/null \
   | awk '/^perfctr / { printf "%s    \"%s\": %s", sep, $2, $3; sep = ",\n" } END { print "" }')
 
+# Gate 3: a pointer-chasing workload must take extended bursts. Exact line
+# enumeration always fails on bst (every walk can reach the whole node
+# pool), so any extended burst here is justified only by the cover or
+# phase-window insulation arms — this gate pins them as load-bearing.
+echo "[pdes_smoke] extended-burst hard gate (bst, pointer-chasing)..."
+EXT_BST=$("$BIN" --smoke --perf --pdes --only bst 2>/dev/null \
+  | awk '/^perfctr pdes_ext_events / { print $3 }')
+if [ "${EXT_BST:-0}" -le 0 ]; then
+  echo "[pdes_smoke] FAIL: pdes_ext_events = ${EXT_BST:-0} on bst; the insulation arms no longer fire on pointer-chasing workloads" >&2
+  exit 1
+fi
+echo "[pdes_smoke] bst took ${EXT_BST} extended-burst events"
+
 if [ "$HOST_CORES" -ge 2 ]; then
   MEANINGFUL=true
 else
@@ -108,6 +124,7 @@ cat >BENCH_pdes.json <<EOF
   "pdes_w64_wall_ms": $MS_W64,
   "speedup_pdes_inf_over_sequential": $SPEEDUP,
   "outputs_identical": true,
+  "pdes_ext_events_bst": $EXT_BST,
   "perfctr": {
 $PERF_JSON  }
 }

@@ -7,14 +7,14 @@
 #   2. HARD GATE: an injected conflict-detection bug (--fault-blind-line on
 #      a line every attempt contends) makes BOTH paths exit non-zero with
 #      byte-identical failure reports — streaming loses no detection power.
-#   3. HARD GATE: a ~1.4 M-event open-loop point (50 000 requests at load
+#   3. HARD GATE: a ~14 M-event open-loop point (500 000 requests at load
 #      120) runs streamed-checked within 1.4x of unchecked CPU time (CPU,
 #      not wall — under `dune build @ci` other rules time-slice the same
 #      host), with every non-checker field of the JSON bit-identical to
 #      the unchecked sweep (observation-only contract at open-system
 #      scale).
 #   4. HARD GATE: that point's peak live checker state (check_live_lines)
-#      stays bounded (<= 4096 lines) while >= 10^6 events stream through
+#      stays bounded (<= 4096 lines) while >= 10^7 events stream through
 #      and entries retire behind the frontier (check_retired > 0) — the
 #      O(live lines) memory claim, measured, not asserted.
 #   5. SOFT GATE: streamed overhead or peak live lines drifting >10%
@@ -79,7 +79,7 @@ echo "[streamcheck_smoke] injected fault caught identically by both paths"
 # ---------------------------------------------------------------- gate 3
 # Open-loop scale: unchecked vs streamed-checked, stats bit-identical and
 # overhead bounded.
-OPEN_ARGS="openloop --json --loads 120 --requests 50000 --jobs 1"
+OPEN_ARGS="openloop --json --loads 120 --requests 500000 --jobs 1"
 
 # The overhead ratio is measured in child CPU time, not wall time: under
 # `dune build @ci` this rule shares the host with the other smoke rules,
@@ -144,12 +144,12 @@ if awk "BEGIN { exit !($OVERHEAD > 1.4) }"; then
 fi
 
 # ---------------------------------------------------------------- gate 4
-# >= 10^6 events through a checker holding only a bounded live set.
+# >= 10^7 events through a checker holding only a bounded live set.
 EVENTS=$(awk '/"events":/ { v = $2 + 0; if (v > max) max = v } END { print max + 0 }' "$OUT_STREAM")
 LIVE=$(awk '/"check_live_lines":/ { v = $2 + 0; if (v > max) max = v } END { print max + 0 }' "$OUT_STREAM")
 RETIRED=$(awk '/"check_retired":/ { v = $2 + 0; if (v > max) max = v } END { print max + 0 }' "$OUT_STREAM")
-if [ "$EVENTS" -lt 1000000 ]; then
-  echo "[streamcheck_smoke] FAIL: point saw only $EVENTS events (< 10^6)" >&2
+if [ "$EVENTS" -lt 10000000 ]; then
+  echo "[streamcheck_smoke] FAIL: point saw only $EVENTS events (< 10^7)" >&2
   exit 1
 fi
 if [ "$LIVE" -lt 1 ] || [ "$LIVE" -gt 4096 ]; then
@@ -179,7 +179,7 @@ fi
 
 cat >BENCH_streamcheck.json <<EOF
 {
-  "suite": "streaming checker (check grid x 2 paths, fault injection, openloop 50000 requests at load 120)",
+  "suite": "streaming checker (check grid x 2 paths, fault injection, openloop 500000 requests at load 120)",
   "host_cores": $HOST_CORES,
   "grid_points_identical": $GRID_POINTS,
   "fault_caught_both_paths": true,

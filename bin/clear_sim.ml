@@ -537,6 +537,142 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List benchmarks.") Term.(const list $ const ())
 
+(* --conflicts: the static pairwise AR may-conflict matrix, validated
+   dynamically — each workload is re-run under checked mode (B and W, so
+   both the plain-HTM and CLEAR gates see traffic) and the soundness gate
+   asserts every observed conflict event's line lies inside the static
+   cover for its AR pair. Exit 1 on any gate failure. *)
+let analyze_conflicts ws json =
+  let module C = Staticcheck.Conflict in
+  let module J = Report.Json in
+  let failures = ref 0 in
+  let validate (w : Machine.Workload.t) =
+    List.map
+      (fun letter ->
+        let cfg = config_of letter ~cores:8 ~ops:40 ~seed:11 ~retries:4 in
+        let _stats, verdict =
+          Clear_repro.Run.run_sim_checked { Clear_repro.Run.cfg; workload = w; seed = 11 }
+        in
+        if not (Check.Verdict.ok verdict) then begin
+          incr failures;
+          Printf.eprintf "[analyze --conflicts] %s under %s FAILED\n%s\n%!" w.name letter
+            (Check.Verdict.to_string verdict)
+        end;
+        (letter, verdict))
+      [ "B"; "W" ]
+  in
+  let per_workload =
+    List.map
+      (fun (w : Machine.Workload.t) ->
+        let m = C.of_ars w.Machine.Workload.ars in
+        (w, m, validate w))
+      ws
+  in
+  let cover_json c =
+    match (c : C.cover) with
+    | C.Top -> J.Str "top"
+    | C.Spans spans ->
+        J.List (Array.to_list (Array.map (fun (lo, hi) -> J.List [ J.Int lo; J.Int hi ]) spans))
+  in
+  if json then
+    print_endline
+      (J.to_string_pretty
+         (J.List
+            (List.map
+               (fun ((w : Machine.Workload.t), m, verdicts) ->
+                 let infos = C.ars m in
+                 J.Obj
+                   [
+                     ("workload", J.Str w.name);
+                     ( "ars",
+                       J.List
+                         (Array.to_list
+                            (Array.map
+                               (fun (i : C.ar_info) ->
+                                 J.Obj
+                                   [
+                                     ("name", J.Str i.C.name);
+                                     ("cl_capable", J.Bool i.C.cl_capable);
+                                     ("rw", cover_json i.C.rw);
+                                     ("w", cover_json i.C.w);
+                                     ("x", cover_json i.C.x);
+                                   ])
+                               infos)) );
+                     ( "matrix",
+                       J.List
+                         (List.concat
+                            (Array.to_list
+                               (Array.mapi
+                                  (fun ia (a : C.ar_info) ->
+                                    Array.to_list
+                                      (Array.mapi
+                                         (fun ib (b : C.ar_info) ->
+                                           let c = C.may_conflict m ia ib in
+                                           J.Obj
+                                             [
+                                               ("a", J.Str a.C.name);
+                                               ("b", J.Str b.C.name);
+                                               ("cover", cover_json c);
+                                               ( "lines",
+                                                 match C.cover_lines c with
+                                                 | None -> J.Null
+                                                 | Some n -> J.Int n );
+                                             ])
+                                         infos))
+                                  infos))) );
+                     ( "validated",
+                       J.List
+                         (List.map
+                            (fun (letter, (v : Check.Verdict.t)) ->
+                              J.Obj
+                                [
+                                  ("config", J.Str letter);
+                                  ("ok", J.Bool (Check.Verdict.ok v));
+                                  ("commits", J.Int v.Check.Verdict.commits);
+                                ])
+                            verdicts) );
+                   ])
+               per_workload)))
+  else
+    List.iter
+      (fun ((w : Machine.Workload.t), m, verdicts) ->
+        let infos = C.ars m in
+        let t =
+          Report.Table.create ~title:(Printf.sprintf "%s: AR may-conflict matrix" w.name)
+            ~columns:
+              ("AR" :: "CL?" :: "X-set"
+              :: Array.to_list (Array.map (fun (i : C.ar_info) -> i.C.name) infos))
+        in
+        Array.iteri
+          (fun ia (a : C.ar_info) ->
+            Report.Table.add_row t
+              (a.C.name
+              :: (if a.C.cl_capable then "yes" else "no")
+              :: C.cover_to_string a.C.x
+              :: Array.to_list
+                   (Array.mapi
+                      (fun ib _ ->
+                        let c = C.may_conflict m ia ib in
+                        match C.cover_lines c with
+                        | None -> "top"
+                        | Some 0 -> "-"
+                        | Some n -> string_of_int n)
+                      infos)))
+          infos;
+        Report.Table.print t;
+        List.iter
+          (fun (letter, (v : Check.Verdict.t)) ->
+            Printf.printf "  dynamic gate %s: %s (%d commits)\n" letter
+              (if Check.Verdict.ok v then "OK" else "FAILED")
+              v.Check.Verdict.commits)
+          verdicts;
+        print_newline ())
+      per_workload;
+  if !failures > 0 then begin
+    Printf.eprintf "[analyze --conflicts] %d gate failure(s)\n%!" !failures;
+    exit 1
+  end
+
 let analyze_cmd =
   let module A = Staticcheck.Absint in
   let module P = Staticcheck.Predict in
@@ -564,12 +700,14 @@ let analyze_cmd =
         ("must_indirect", J.Bool p.P.summary.A.must_indirect);
       ]
   in
-  let analyze workload json =
+  let analyze workload json conflicts =
     let ws =
       match workload with
       | None -> Workloads.Registry.all
       | Some name -> [ find_workload name ]
     in
+    if conflicts then analyze_conflicts ws json
+    else begin
     let mismatches = ref 0 in
     let per_workload =
       List.map
@@ -643,18 +781,28 @@ let analyze_cmd =
       Printf.eprintf "[analyze] %d classification mismatch(es)\n%!" !mismatches;
       exit 1
     end
+    end
   in
   let workload_filter =
     Arg.(value & opt (some string) None
          & info [ "w"; "workload" ] ~doc:"Restrict the analysis to one benchmark.")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  let conflicts_arg =
+    Arg.(value & flag
+         & info [ "conflicts" ]
+             ~doc:"Print the static pairwise AR may-conflict matrix instead, and validate it \
+                   dynamically: checked runs (configs B and W) assert every observed conflict \
+                   event's line lies in the static cover for its AR pair. Exits non-zero on \
+                   any soundness mismatch.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static AR verification: abstract-interpretation footprint bounds, CLEAR table \
              fits, the sound decision envelope, and the Table-1 mutability classification \
-             (checked against the reference analysis; exits non-zero on disagreement).")
-    Term.(const analyze $ workload_filter $ json_arg)
+             (checked against the reference analysis; exits non-zero on disagreement). With \
+             $(b,--conflicts), the pairwise AR may-conflict matrix with dynamic validation.")
+    Term.(const analyze $ workload_filter $ json_arg $ conflicts_arg)
 
 let lint_cmd =
   let module L = Staticcheck.Lint in

@@ -9,12 +9,23 @@ type decision = {
   decision : Clear.Decision.mode;
 }
 
+type conflict = {
+  time : int;
+  aggressor_core : int;
+  victim_core : int;
+  aggressor_ar : Isa.Program.ar;
+  victim_ar : Isa.Program.ar;
+  line : Mem.Addr.line;
+}
+
 type sink = {
   sink_initial : Mem.Store.image -> unit;
   sink_commit : Witness.t -> unit;
   sink_driver_writes : time:int -> core:int -> stores:(Mem.Addr.t * int) list -> unit;
   sink_lock_event : Lock_safety.event -> unit;
   sink_decision : decision -> unit;
+  sink_conflict : conflict -> unit;
+  sink_ars : Isa.Program.ar list -> unit;
   sink_stats : unit -> int * int;
 }
 
@@ -25,6 +36,8 @@ type t = {
   mutable rev_entries : entry list;
   mutable rev_lock_events : Lock_safety.event list;
   mutable rev_decisions : decision list;
+  mutable rev_conflicts : conflict list;
+  mutable ars : Isa.Program.ar list;
   mutable next_seq : int;
 }
 
@@ -36,6 +49,8 @@ let make ~cores sink =
     rev_entries = [];
     rev_lock_events = [];
     rev_decisions = [];
+    rev_conflicts = [];
+    ars = [];
     next_seq = 0;
   }
 
@@ -52,6 +67,10 @@ let stream_stats t = Option.map (fun s -> s.sink_stats ()) t.sink
 let set_initial t snap =
   t.initial <- Some snap;
   match t.sink with None -> () | Some s -> s.sink_initial snap
+
+let set_ars t ars =
+  t.ars <- ars;
+  match t.sink with None -> () | Some s -> s.sink_ars ars
 
 let add_commit t ~time ~core ~ar ~init_regs ~mode ~retries ~reads ~writes ~stores =
   let w =
@@ -90,6 +109,12 @@ let add_decision t ~time ~core ~ar ~decision =
   | None -> t.rev_decisions <- d :: t.rev_decisions
   | Some s -> s.sink_decision d
 
+let add_conflict t ~time ~aggressor_core ~victim_core ~aggressor_ar ~victim_ar ~line =
+  let c = { time; aggressor_core; victim_core; aggressor_ar; victim_ar; line } in
+  match t.sink with
+  | None -> t.rev_conflicts <- c :: t.rev_conflicts
+  | Some s -> s.sink_conflict c
+
 let initial t = t.initial
 
 let entries t = List.rev t.rev_entries
@@ -100,5 +125,9 @@ let witnesses t =
 let lock_events t = List.rev t.rev_lock_events
 
 let decisions t = List.rev t.rev_decisions
+
+let conflicts t = List.rev t.rev_conflicts
+
+let ars t = t.ars
 
 let commit_count t = t.next_seq

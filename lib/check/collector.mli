@@ -23,12 +23,31 @@ type decision = {
     performed; the static soundness gate asserts each lies inside the
     statically predicted decision envelope. *)
 
+type conflict = {
+  time : int;
+  aggressor_core : int;
+  victim_core : int;
+  aggressor_ar : Isa.Program.ar;
+  victim_ar : Isa.Program.ar;
+  line : Mem.Addr.line;
+}
+(** One engine-observed conflict event with a known line: a doom (the
+    aggressor's access or lock acquisition killed the victim's speculative
+    attempt) or a NACK (the aggressor held the line exclusively and the
+    victim's request was refused). The static soundness gate asserts each
+    line lies in the static may-conflict cover for the AR pair
+    ({!Staticcheck.Conflict}). The engine deduplicates per
+    (aggressor AR, victim AR, line), so volume is bounded by the static
+    matrix size, not the run length. *)
+
 type sink = {
   sink_initial : Mem.Store.image -> unit;
   sink_commit : Witness.t -> unit;
   sink_driver_writes : time:int -> core:int -> stores:(Mem.Addr.t * int) list -> unit;
   sink_lock_event : Lock_safety.event -> unit;
   sink_decision : decision -> unit;
+  sink_conflict : conflict -> unit;
+  sink_ars : Isa.Program.ar list -> unit;
   sink_stats : unit -> int * int;  (** (peak live lines, retired entries) *)
 }
 (** An online consumer of the emission stream. A streaming collector
@@ -83,6 +102,20 @@ val add_lock_event : t -> Lock_safety.event -> unit
 val add_decision :
   t -> time:int -> core:int -> ar:Isa.Program.ar -> decision:Clear.Decision.mode -> unit
 
+val set_ars : t -> Isa.Program.ar list -> unit
+(** The workload's full static AR list, fed once at engine creation — the
+    universe the may-conflict matrix is built over. *)
+
+val add_conflict :
+  t ->
+  time:int ->
+  aggressor_core:int ->
+  victim_core:int ->
+  aggressor_ar:Isa.Program.ar ->
+  victim_ar:Isa.Program.ar ->
+  line:Mem.Addr.line ->
+  unit
+
 val initial : t -> Mem.Store.image option
 
 val entries : t -> entry list
@@ -95,5 +128,11 @@ val lock_events : t -> Lock_safety.event list
 
 val decisions : t -> decision list
 (** End-of-discovery decisions, in emission order. *)
+
+val conflicts : t -> conflict list
+(** Deduplicated conflict events, in emission order. *)
+
+val ars : t -> Isa.Program.ar list
+(** As fed by {!set_ars}; empty if the engine never called it. *)
 
 val commit_count : t -> int

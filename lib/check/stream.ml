@@ -71,6 +71,8 @@ type t = {
   mutable lock_err : Lock_safety.violation option;
   mutable gate_commit_err : Staticcheck.Gate.violation option;
   mutable gate_decision_err : Staticcheck.Gate.violation option;
+  mutable gate_conflict_err : Staticcheck.Gate.violation option;
+  mutable ars : Isa.Program.ar list;
   mutable live_entries : int;
   mutable peak_live_lines : int;
   mutable peak_live_entries : int;
@@ -94,6 +96,8 @@ let create ?static_gate ?(sweep_every = 512) ~cores () =
     lock_err = None;
     gate_commit_err = None;
     gate_decision_err = None;
+    gate_conflict_err = None;
+    ars = [];
     live_entries = 0;
     peak_live_lines = 0;
     peak_live_entries = 0;
@@ -281,6 +285,20 @@ let add_lock_event t (ev : Lock_safety.event) =
   | None -> (
       match Lock_safety.add t.locks ev with Ok () -> () | Error v -> t.lock_err <- Some v)
 
+let set_ars t ars = t.ars <- ars
+
+let add_conflict t (c : Collector.conflict) =
+  note_time t c.Collector.time;
+  match (t.static_gate, t.gate_conflict_err) with
+  | None, _ | _, Some _ -> ()
+  | Some gate, None -> (
+      match
+        Staticcheck.Gate.check_conflict gate ~ars:t.ars ~aggressor:c.Collector.aggressor_ar
+          ~victim:c.Collector.victim_ar ~line:c.Collector.line
+      with
+      | Ok () -> ()
+      | Error v -> t.gate_conflict_err <- Some v)
+
 let add_decision t (d : Collector.decision) =
   note_time t d.Collector.time;
   match (t.static_gate, t.gate_decision_err) with
@@ -309,12 +327,14 @@ let finish t ~final =
   let static_ =
     Option.map
       (fun (_ : Staticcheck.Gate.t) ->
-        (* Witness violations outrank decision violations, matching the post
-           hoc gate's all-witnesses-then-all-decisions order. *)
-        match (t.gate_commit_err, t.gate_decision_err) with
-        | Some v, _ -> Error v
-        | None, Some v -> Error v
-        | None, None -> Ok ())
+        (* Witness violations outrank decision violations, which outrank
+           conflict violations, matching the post hoc gate's
+           witnesses-then-decisions-then-conflicts order. *)
+        match (t.gate_commit_err, t.gate_decision_err, t.gate_conflict_err) with
+        | Some v, _, _ -> Error v
+        | None, Some v, _ -> Error v
+        | None, None, Some v -> Error v
+        | None, None, None -> Ok ())
       t.static_gate
   in
   { commits = t.n_commits; serial; replay; locks; static_ }
@@ -326,6 +346,8 @@ let sink t =
     sink_driver_writes = (fun ~time ~core ~stores -> add_driver_writes t ~time ~core ~stores);
     sink_lock_event = add_lock_event t;
     sink_decision = add_decision t;
+    sink_conflict = add_conflict t;
+    sink_ars = set_ars t;
     sink_stats =
       (fun () ->
         let s = stats t in

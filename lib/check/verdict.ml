@@ -10,8 +10,9 @@ let ok t =
   Result.is_ok t.serial && Result.is_ok t.replay && Result.is_ok t.locks
   && match t.static_ with None -> true | Some r -> Result.is_ok r
 
-(* Dynamic footprint ⊆ static may-sets for every witness, and every
-   end-of-discovery decision inside the static envelope. *)
+(* Dynamic footprint ⊆ static may-sets for every witness, every
+   end-of-discovery decision inside the static envelope, and every observed
+   conflict line inside the static may-conflict cover for its AR pair. *)
 let run_static_gate gate collector =
   let check_witness (w : Witness.t) =
     Staticcheck.Gate.check_commit gate ~ar:w.Witness.ar ~init_regs:w.Witness.init_regs
@@ -25,9 +26,16 @@ let run_static_gate gate collector =
     | [] -> Ok ()
     | x :: rest -> ( match f x with Ok () -> all f rest | Error _ as e -> e)
   in
+  let check_conflict (c : Collector.conflict) =
+    Staticcheck.Gate.check_conflict gate ~ars:(Collector.ars collector)
+      ~aggressor:c.Collector.aggressor_ar ~victim:c.Collector.victim_ar ~line:c.Collector.line
+  in
   match all check_witness (Collector.witnesses collector) with
   | Error _ as e -> e
-  | Ok () -> all check_decision (Collector.decisions collector)
+  | Ok () -> (
+      match all check_decision (Collector.decisions collector) with
+      | Error _ as e -> e
+      | Ok () -> all check_conflict (Collector.conflicts collector))
 
 let evaluate ?static_gate collector ~final =
   if Collector.is_streaming collector then

@@ -1,15 +1,22 @@
-type ar = { id : int; name : string; body : Instr.t array }
+type ar = { id : int; name : string; body : Instr.t array; regions : (string * (int * int)) list }
 
-let make_ar ~id ~name body =
+let make_ar ?(regions = []) ~id ~name body =
   (match Instr.validate body with
   | Ok () -> ()
   | Error msg -> invalid_arg (Printf.sprintf "Program.make_ar %s: %s" name msg));
-  { id; name; body }
+  List.iter
+    (fun (r, (lo, hi)) ->
+      if r = "" || lo < 0 || hi < lo then
+        invalid_arg (Printf.sprintf "Program.make_ar %s: bad extent for region %S" name r))
+    regions;
+  { id; name; body; regions = List.sort_uniq compare regions }
 
-let build_ar ~id ~name f =
+let build_ar ?regions ~id ~name f =
   let b = Asm.create () in
   f b;
-  make_ar ~id ~name (Asm.assemble b)
+  make_ar ?regions ~id ~name (Asm.assemble b)
+
+let region_extent ar region = List.assoc_opt region ar.regions
 
 let instruction_count ar = Array.length ar.body
 

@@ -70,6 +70,10 @@ type t = {
   openq : Openq.t option;
   cores : core array;
   queue : int Event_queue.t; (* payload: core id *)
+  conflict_seen : (int * int * int, unit) Hashtbl.t;
+      (* (aggressor AR id, victim AR id, line) triples already reported to
+         the checker; bounds conflict-event volume by the static matrix
+         size, not the run length *)
   mutable power_owner : int; (* PowerTM token, -1 when free *)
   mutable now : int;
 }
@@ -135,7 +139,9 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
      writes are part of the initial image), before any simulated cycle. *)
   (match check with
   | None -> ()
-  | Some col -> Check.Collector.set_initial col (Mem.Store.snapshot store));
+  | Some col ->
+      Check.Collector.set_ars col workload.ars;
+      Check.Collector.set_initial col (Mem.Store.snapshot store));
   {
     cfg;
     trace;
@@ -159,6 +165,7 @@ let create ?trace ?check (cfg : Config.t) (workload : Workload.t) =
       | Some q -> Some (Openq.create q (Rng.split root_rng 104_729)));
     cores;
     queue;
+    conflict_seen = Hashtbl.create 64;
     power_owner = -1;
     now = 0;
   }
@@ -215,6 +222,24 @@ let victim_protected t (requester : core) (v : core) =
 
 let doom t (v : core) cause line =
   if is_speculating t.cores.(v.id) && v.pending_abort = None then v.pending_abort <- Some (cause, line)
+
+(* Report a line-bearing conflict (doom or NACK) between two mid-AR cores to
+   the checker, deduplicated per (aggressor AR, victim AR, line). Pure
+   observation: no simulation state is touched, so checked and unchecked
+   runs stay bit-identical. *)
+let note_conflict t (a : core) (v : core) line =
+  match t.check with
+  | None -> ()
+  | Some col -> (
+      match (a.op, v.op) with
+      | Some aop, Some vop ->
+          let key = (aop.Workload.ar.Isa.Program.id, vop.Workload.ar.Isa.Program.id, line) in
+          if not (Hashtbl.mem t.conflict_seen key) then begin
+            Hashtbl.replace t.conflict_seen key ();
+            Check.Collector.add_conflict col ~time:t.now ~aggressor_core:a.id ~victim_core:v.id
+              ~aggressor_ar:aop.Workload.ar ~victim_ar:vop.Workload.ar ~line
+          end
+      | _ -> ())
 
 (* Record a touched line in the per-attempt footprint. *)
 let touch_line t c line =
@@ -478,7 +503,11 @@ let check_evictions c outcome =
 let blocked_by_remote_lock t c line =
   match Mem.Hierarchy.locked_by t.hierarchy line with
   | Some holder when holder <> c.id ->
-      if c.mode = M_scl then raise (Abort_now Abort.Nacked) else raise Stall_now
+      if c.mode = M_scl then begin
+        note_conflict t c t.cores.(holder) line;
+        raise (Abort_now Abort.Nacked)
+      end
+      else raise Stall_now
   | Some _ | None -> ()
 
 let spec_load t c addr =
@@ -492,6 +521,7 @@ let spec_load t c addr =
       t.perf.conflict_hits <- t.perf.conflict_hits + 1;
       Conflict_map.iter_cores wmask (fun w ->
           let v = t.cores.(w) in
+          note_conflict t c v line;
           if victim_protected t c v then raise (Abort_now Abort.Nacked)
           else doom t v Abort.Memory_conflict (Some line))
     end
@@ -537,6 +567,7 @@ let spec_store t c addr value =
         t.perf.conflict_hits <- t.perf.conflict_hits + 1;
         Conflict_map.iter_cores mask (fun w ->
             let v = t.cores.(w) in
+            note_conflict t c v line;
             if victim_protected t c v then raise (Abort_now Abort.Nacked)
             else doom t v Abort.Memory_conflict (Some line))
       end
@@ -619,7 +650,9 @@ let fallback_store t c addr value =
   t.perf.conflict_checks <- t.perf.conflict_checks + 1;
   if mask <> 0 then begin
     t.perf.conflict_hits <- t.perf.conflict_hits + 1;
-    Conflict_map.iter_cores mask (fun w -> doom t t.cores.(w) Abort.Other_fallback (Some line))
+    Conflict_map.iter_cores mask (fun w ->
+        note_conflict t c t.cores.(w) line;
+        doom t t.cores.(w) Abort.Other_fallback (Some line))
   end;
   let outcome = Mem.Hierarchy.write_line t.hierarchy ~core:c.id line in
   Mem.Store.write t.store addr value;
@@ -788,7 +821,9 @@ let step_lock t c =
             Conflict_map.writers_excl t.conflicts ~core:c.id line
             lor Conflict_map.readers_excl t.conflicts ~core:c.id line
           in
-          Conflict_map.iter_cores mask (fun w -> doom t t.cores.(w) Abort.Memory_conflict (Some line));
+          Conflict_map.iter_cores mask (fun w ->
+              note_conflict t c t.cores.(w) line;
+              doom t t.cores.(w) Abort.Memory_conflict (Some line));
           trace_ev t c (Trace.Locked line);
           lock_ev t
             (Check.Lock_safety.Lock
@@ -1221,7 +1256,56 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
     done;
     !ok
   in
-  (* Resolved (lines, l3 sets) of [id]'s current op, or None. *)
+  (* Resolved (lines, l3 sets) of [id]'s current op, or None. Exact line
+     sets resolve as before; when enumeration hits the expansion cap or an
+     indirection is bounded only by its region extent ([Cregion]), fall
+     back to the sound line-interval cover and — when it is small enough —
+     expand it into the same sorted-lines form, so cover disjointness
+     reuses the one proof below. Covers too large to expand are refused:
+     a pool-sized extent spans every L3 set, so the footprint argument
+     could never discharge it anyway (the phase-window arms handle those
+     peers instead). *)
+  let cover_expand_cap = 64 in
+  let resolve_fp b ~init =
+    let lines, capped, cls =
+      match Staticcheck.Footprint.lines_for_r b ~init with
+      | `Lines lines -> (Some lines, false, `Exact)
+      | (`Capped | `Unresolvable) as miss -> (
+          let capped = miss = `Capped in
+          match Staticcheck.Footprint.lines_cover b ~init with
+          | Some cover
+            when Array.fold_left (fun acc (lo, hi) -> acc + hi - lo + 1) 0 cover
+                 <= cover_expand_cap ->
+              let out = ref [] in
+              for si = Array.length cover - 1 downto 0 do
+                let lo, hi = cover.(si) in
+                for l = hi downto lo do
+                  out := l :: !out
+                done
+              done;
+              (Some (Array.of_list !out), capped, `Cover)
+          | Some _ | None -> (None, capped, `Unres))
+    in
+    let res =
+      match lines with
+      | None -> None
+      | Some lines ->
+          Some
+            ( lines,
+              sorted_distinct (Array.map (fun l -> Mem.Hierarchy.l3_set_of t.hierarchy l) lines)
+            )
+    in
+    ((capped, cls), res)
+  in
+  (* Register-independent regions (no [Crel] site) resolve to the same
+     footprint for every op, so the (lines, sets) pair is memoized per AR;
+     the shared arrays are safe because the consumers below only read them.
+     Counters still tick once per op-cache miss so the static_cover_*
+     census stays a per-resolution count either way. *)
+  let fp_memo :
+      (int, (bool * [ `Exact | `Cover | `Unres ]) * (int array * int array) option) Hashtbl.t =
+    Hashtbl.create 16
+  in
   let footprint_of id =
     let c = t.cores.(id) in
     match c.op with
@@ -1231,14 +1315,52 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
         | Some o when o == op -> ()
         | _ ->
             fp_op.(id) <- Some op;
-            (match Staticcheck.Footprint.lines_for (static_of op.Workload.ar) ~init:op.Workload.init_regs with
+            let b = static_of op.Workload.ar in
+            let init = op.Workload.init_regs in
+            (* The resolution is init-independent when no site is
+               register-relative, when an unbounded site forces
+               [`Unresolvable] under every binding, or when a single site's
+               span guarantees both [`Capped] enumeration and an
+               unexpandable cover — exactly the pointer-chasing regions
+               whose per-op re-resolution would otherwise dominate the
+               extension path. *)
+            let init_independent =
+              (not (Staticcheck.Footprint.has_reg_relative b))
+              || (not (Staticcheck.Footprint.resolvable b))
+              || Staticcheck.Footprint.always_capped b
+                 && Staticcheck.Footprint.cover_lines_lb b > cover_expand_cap
+            in
+            let (capped, cls), res =
+              if not init_independent then resolve_fp b ~init
+              else
+                let key = op.Workload.ar.Isa.Program.id in
+                match Hashtbl.find_opt fp_memo key with
+                | Some r -> r
+                | None ->
+                    let r = resolve_fp b ~init in
+                    Hashtbl.add fp_memo key r;
+                    r
+            in
+            if capped then
+              perf.Simrt.Perfctr.static_cover_capped <-
+                perf.Simrt.Perfctr.static_cover_capped + 1;
+            (match cls with
+            | `Exact ->
+                perf.Simrt.Perfctr.static_cover_exact <-
+                  perf.Simrt.Perfctr.static_cover_exact + 1
+            | `Cover ->
+                perf.Simrt.Perfctr.static_cover_cover <-
+                  perf.Simrt.Perfctr.static_cover_cover + 1
+            | `Unres ->
+                perf.Simrt.Perfctr.static_cover_unresolved <-
+                  perf.Simrt.Perfctr.static_cover_unresolved + 1);
+            match res with
             | None ->
                 fp_lines.(id) <- None;
                 fp_sets.(id) <- None
-            | Some lines ->
+            | Some (lines, sets) ->
                 fp_lines.(id) <- Some lines;
-                fp_sets.(id) <-
-                  Some (sorted_distinct (Array.map (fun l -> Mem.Hierarchy.l3_set_of t.hierarchy l) lines))));
+                fp_sets.(id) <- Some sets);
         (match (fp_lines.(id), fp_sets.(id)) with
         | Some l, Some s -> Some (l, s)
         | _ -> None)
@@ -1247,24 +1369,60 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
     let l1 = Mem.Hierarchy.l1 t.hierarchy ~core and l2 = Mem.Hierarchy.l2 t.hierarchy ~core in
     Array.exists (fun l -> Mem.Cache.mem l1 l || Mem.Cache.mem l2 l) lines
   in
+  (* Phase-window insulation: a peer parked *between* attempts executes
+     only core-local work for a provable number of cycles, independent of
+     its footprint. Two arms (sound only under [ext_enabled]'s conditions —
+     no checker, HTM front-end, requester-wins):
+
+     - [P_next_op], closed loop, pure driver: the pending event runs the
+       finish check or [issue_op] (pure driver, own RNG, resets the attempt
+       state to [retries_counted = 0], [planned = None]) and schedules a
+       [P_start] at least one cycle later. That [P_start] either spins on
+       the held write lock — constant during a speculative leader's burst,
+       since the leader never takes or releases the fallback lock — or
+       begins a speculative attempt ([Txn.start], ERT lookup: core-local
+       under requester-wins). The first event that can touch shared state
+       (a [P_exec] memory access) is therefore at least
+       [1 + max 1 (min xbegin_cost spin_cycles)] cycles out.
+     - [P_start] below the retry budget with no planned CL mode: the same
+       argument without the leading next-op hop.
+
+     Excluded on purpose: [P_start] past the retry budget (announces and
+     may take the write lock, dooming everyone), a planned CL mode
+     ([start_cl] leads to [P_lock] whose lock acquisitions doom globally),
+     open-loop runs (the driver pops the shared request queue, and a
+     leader's in-burst commit pushes completions into it) and impure
+     drivers (labyrinth reads the store). *)
+  let spin_floor = max 1 (min cfg.Config.xbegin_cost cfg.Config.spin_cycles) in
+  let arm_next_op = t.openq = None && t.workload.Workload.pure_driver in
+  (* All slack functions return cycles, -1 for "not insulated" — the loop
+     below runs per peer per burst, so no options are allocated here. *)
+  let phase_window_slack x =
+    let c = t.cores.(x) in
+    match c.phase with
+    | P_next_op when arm_next_op -> 1 + spin_floor
+    | P_start when c.retries_counted <= cfg.Config.max_retries && c.planned = None -> spin_floor
+    | _ -> -1
+  in
   (* Cycles (from peer [x]'s pending event) before [x] can possibly commit
      or enter the fallback path — the two ways a footprint-disjoint peer
      can still interact (post-commit driver work, resp. doom_all and the
-     global lock). None = not insulated at all. *)
-  let insulation_slack x ~llines ~lsets ~leader =
+     global lock). -1 = not insulated by the footprint argument; requires
+     a resolved footprint (exact or expanded cover) on both sides. *)
+  let footprint_slack x ~llines ~lsets ~leader =
     let c = t.cores.(x) in
     match c.phase with
-    | P_done | P_next_op -> None
-    | P_start when c.retries_counted > cfg.Config.max_retries -> None
+    | P_done | P_next_op -> -1
+    | P_start when c.retries_counted > cfg.Config.max_retries -> -1
     | P_start | P_lock | P_exec -> (
         match footprint_of x with
-        | None -> None
+        | None -> -1
         | Some (xlines, xsets) ->
             if
               (not (disjoint llines xlines))
               || (not (disjoint lsets xsets))
               || caches_hold leader xlines || caches_hold x llines
-            then None
+            then -1
             else begin
               let b = static_of (current_op c).Workload.ar in
               let mth0 = Staticcheck.Footprint.min_cycles_from_entry b in
@@ -1274,15 +1432,26 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
                 | P_exec -> min (Staticcheck.Footprint.min_cycles_to_halt b ~pc:c.pc) restart
                 | _ -> 1 + mth0
               in
-              if c.phase = P_exec && c.mode = M_fallback then Some commit_slack
+              if c.phase = P_exec && c.mode = M_fallback then commit_slack
               else begin
                 let needed = cfg.Config.max_retries + 1 - c.retries_counted in
                 let fallback_slack =
                   (needed * cfg.Config.abort_penalty) + ((needed - 1) * cfg.Config.xbegin_cost)
                 in
-                Some (min fallback_slack commit_slack)
+                min fallback_slack commit_slack
               end
             end)
+  in
+  (* Best insulation over both arms; each is independently sound, so the
+     larger window applies. *)
+  let insulation_slack x ~lfp ~leader =
+    let pw = phase_window_slack x in
+    let fp =
+      match lfp with
+      | None -> -1
+      | Some (llines, lsets) -> footprint_slack x ~llines ~lsets ~leader
+    in
+    max pw fp
   in
   (* The leader may execute its next event ahead of a time-tied or earlier
      peer event only if it stays core-local: still mid-speculation, and any
@@ -1315,19 +1484,21 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
     && cfg.Config.policy = Config.Requester_wins
   in
   (* Earliest virtual time at which any peer could interact with the
-     leader's burst; the leader may execute events strictly before it. *)
+     leader's burst; the leader may execute events strictly before it. The
+     leader's own footprint is needed only by the footprint arm — the
+     phase-window arms insulate peers even when the leader's lines are
+     unresolvable (pointer-chasing regions). *)
   let extension_bound id =
-    match footprint_of id with
-    | None -> None
-    | Some (llines, lsets) ->
-        let bound = ref max_int in
-        for x = 0 to n - 1 do
-          if x <> id && ev_time.(x) >= 0 && ev_time.(x) < !bound then
-            match insulation_slack x ~llines ~lsets ~leader:id with
-            | None -> bound := ev_time.(x)
-            | Some slack -> bound := min !bound (ev_time.(x) + slack)
-        done;
-        Some !bound
+    let lfp = footprint_of id in
+    let bound = ref max_int in
+    for x = 0 to n - 1 do
+      if x <> id && ev_time.(x) >= 0 && ev_time.(x) < !bound then begin
+        let slack = insulation_slack x ~lfp ~leader:id in
+        if slack < 0 then bound := ev_time.(x)
+        else bound := min !bound (ev_time.(x) + slack)
+      end
+    done;
+    !bound
   in
   while !remaining > 0 do
     (* Merged selection: globally earliest pending event in virtual order. *)
@@ -1366,13 +1537,10 @@ let run_pdes ~max_cycles t (p : Pdes.t) =
       let c = t.cores.(id) in
       c.phase = P_exec && c.mode = M_spec
     then begin
-      match extension_bound id with
-      | None -> perf.Simrt.Perfctr.pdes_window_stalls <- perf.Simrt.Perfctr.pdes_window_stalls + 1
-      | Some eb ->
-          let eb = min eb cap in
-          if eb <= ev_time.(id) then
-            perf.Simrt.Perfctr.pdes_window_stalls <- perf.Simrt.Perfctr.pdes_window_stalls + 1
-          else begin
+      let eb = min (extension_bound id) cap in
+      if eb <= ev_time.(id) then
+        perf.Simrt.Perfctr.pdes_window_stalls <- perf.Simrt.Perfctr.pdes_window_stalls + 1
+      else begin
             let stopped = ref false in
             while
               (not !stopped)

@@ -14,6 +14,10 @@ type t = {
   mutable pdes_ext_events : int;
   mutable pdes_lookahead_total : int;
   mutable pdes_lookahead_max : int;
+  mutable static_cover_exact : int;
+  mutable static_cover_cover : int;
+  mutable static_cover_capped : int;
+  mutable static_cover_unresolved : int;
   mutable open_arrivals : int;
   mutable open_dropped : int;
   mutable open_completed : int;
@@ -39,6 +43,10 @@ let create () =
     pdes_ext_events = 0;
     pdes_lookahead_total = 0;
     pdes_lookahead_max = 0;
+    static_cover_exact = 0;
+    static_cover_cover = 0;
+    static_cover_capped = 0;
+    static_cover_unresolved = 0;
     open_arrivals = 0;
     open_dropped = 0;
     open_completed = 0;
@@ -63,6 +71,10 @@ let reset t =
   t.pdes_ext_events <- 0;
   t.pdes_lookahead_total <- 0;
   t.pdes_lookahead_max <- 0;
+  t.static_cover_exact <- 0;
+  t.static_cover_cover <- 0;
+  t.static_cover_capped <- 0;
+  t.static_cover_unresolved <- 0;
   t.open_arrivals <- 0;
   t.open_dropped <- 0;
   t.open_completed <- 0;
@@ -86,6 +98,10 @@ let merge_into ~dst src =
   dst.pdes_ext_events <- dst.pdes_ext_events + src.pdes_ext_events;
   dst.pdes_lookahead_total <- dst.pdes_lookahead_total + src.pdes_lookahead_total;
   dst.pdes_lookahead_max <- max dst.pdes_lookahead_max src.pdes_lookahead_max;
+  dst.static_cover_exact <- dst.static_cover_exact + src.static_cover_exact;
+  dst.static_cover_cover <- dst.static_cover_cover + src.static_cover_cover;
+  dst.static_cover_capped <- dst.static_cover_capped + src.static_cover_capped;
+  dst.static_cover_unresolved <- dst.static_cover_unresolved + src.static_cover_unresolved;
   dst.open_arrivals <- dst.open_arrivals + src.open_arrivals;
   dst.open_dropped <- dst.open_dropped + src.open_dropped;
   dst.open_completed <- dst.open_completed + src.open_completed;
@@ -114,6 +130,10 @@ let to_list t =
     ("pdes_ext_events", t.pdes_ext_events);
     ("pdes_lookahead_total", t.pdes_lookahead_total);
     ("pdes_lookahead_max", t.pdes_lookahead_max);
+    ("static_cover_exact", t.static_cover_exact);
+    ("static_cover_cover", t.static_cover_cover);
+    ("static_cover_capped", t.static_cover_capped);
+    ("static_cover_unresolved", t.static_cover_unresolved);
     ("open_arrivals", t.open_arrivals);
     ("open_dropped", t.open_dropped);
     ("open_completed", t.open_completed);

@@ -28,6 +28,17 @@ type t = {
           only by the static-footprint insulation argument *)
   mutable pdes_lookahead_total : int;  (** summed per-burst lookahead distance (cycles) *)
   mutable pdes_lookahead_max : int;  (** largest single-burst lookahead (cycles) *)
+  mutable static_cover_exact : int;
+      (** PDES footprint resolutions where the exact line set enumerated *)
+  mutable static_cover_cover : int;
+      (** footprint resolutions that fell back to a line-interval cover
+          small enough to expand (cap hit or region-bounded indirection) *)
+  mutable static_cover_capped : int;
+      (** resolutions where exact enumeration hit the expansion cap — the
+          formerly silent [Footprint.lines_for] failure mode, now counted *)
+  mutable static_cover_unresolved : int;
+      (** resolutions with no usable footprint: an unbounded site, or a
+          cover too large to expand (pool-sized region extents) *)
   mutable open_arrivals : int;
       (** open-system requests admitted to the queue (excludes drops) *)
   mutable open_dropped : int;  (** requests dropped at saturation (queue cap hit) *)

@@ -17,6 +17,10 @@ type component =
   | Cwords of { lo : int; hi : int }  (** absolute word addresses in [lo, hi] *)
   | Crel of { reg : I.reg; lo : int; hi : int }
       (** word addresses in [init(reg) + lo, init(reg) + hi] *)
+  | Cregion of { lo : int; hi : int; region : string }
+      (** the interval domain lost the address (an indirection), but the
+          site's region tag has a declared extent: word addresses in
+          [lo, hi], the region's whole extent *)
   | Cany  (** statically unbounded: any address *)
 
 type site = {
@@ -30,6 +34,7 @@ type site = {
 type summary = {
   name : string;
   body : I.t array;
+  regions : (string * (int * int)) list;
   reachable : bool array;
   in_cycle : bool array;
   in_states : Value.t array array;
@@ -107,10 +112,14 @@ let merge_intervals ivs =
 let lines_of_components comps =
   let abs, rel, any =
     List.fold_left
-      (fun (abs, rel, any) c ->
+      (fun (abs, rel, any) (c, in_cycle) ->
         match c with
         | Cwords { lo; hi } -> ((lo, hi) :: abs, rel, any)
         | Crel { reg; lo; hi } -> (abs, (reg, (lo, hi)) :: rel, any)
+        | Cregion { lo; hi; _ } ->
+            (* Acyclic: one execution, one line. In a cycle: a fresh line per
+               iteration, but never outside the region's extent. *)
+            if in_cycle then ((lo, hi) :: abs, rel, any) else (abs, rel, any + 1)
         | Cany -> (abs, rel, any + 1))
       ([], [], 0) comps
   in
@@ -139,13 +148,15 @@ let lines_of_components comps =
    attempt and so contributes at most one line. *)
 let line_bound sites =
   if List.exists (fun (s : site) -> s.component = Cany && s.in_cycle) sites then Unbounded
-  else Finite (lines_of_components (List.map (fun (s : site) -> s.component) sites))
+  else
+    Finite (lines_of_components (List.map (fun (s : site) -> (s.component, s.in_cycle)) sites))
 
-let empty_summary name body =
+let empty_summary ?(regions = []) name body =
   let n = Array.length body in
   {
     name;
     body;
+    regions;
     reachable = Array.make n false;
     in_cycle = Array.make n false;
     in_states = Array.init n (fun _ -> Array.make nregs Value.bot);
@@ -161,9 +172,9 @@ let empty_summary name body =
     falls_off_end = true;
   }
 
-let analyze ?(name = "<raw>") (body : I.t array) : summary =
+let analyze ?(name = "<raw>") ?(regions = []) (body : I.t array) : summary =
   let n = Array.length body in
-  if n = 0 then empty_summary name body
+  if n = 0 then empty_summary ~regions name body
   else begin
     let initial = Array.init nregs (fun r -> Value.init_ r S.empty) in
     let in_states = Array.init n (fun _ -> Array.make nregs Value.bot) in
@@ -265,13 +276,20 @@ let analyze ?(name = "<raw>") (body : I.t array) : summary =
       end
     done;
 
-    (* Memory-site components from the narrowed states. *)
-    let component_of st base off =
+    (* Memory-site components from the narrowed states. When the interval
+       domain lost the address (an indirection collapsed it to Top) but the
+       site carries a region tag with a declared extent, the extent bounds
+       the site: the workload's layout guarantees — and the dynamic gate
+       verifies — that tagged accesses stay inside their region. *)
+    let component_of st base off region =
       let v = Value.binop I.Add (value_of st base) (Value.const_ off S.empty) in
       match v.Value.shape with
       | Value.Const when Value.is_finite v -> Cwords { lo = v.Value.lo; hi = v.Value.hi }
       | Value.Init r when Value.is_finite v -> Crel { reg = r; lo = v.Value.lo; hi = v.Value.hi }
-      | _ -> Cany
+      | _ -> (
+          match List.assoc_opt region regions with
+          | Some (lo, hi) -> Cregion { lo; hi; region }
+          | None -> Cany)
     in
     let sites = ref [] in
     for i = n - 1 downto 0 do
@@ -283,7 +301,7 @@ let analyze ?(name = "<raw>") (body : I.t array) : summary =
                 index = i;
                 written = false;
                 region = Clear.Analysis.region_name region;
-                component = component_of in_states.(i) base off;
+                component = component_of in_states.(i) base off (Clear.Analysis.region_name region);
                 in_cycle = in_cycle.(i);
               }
               :: !sites
@@ -293,7 +311,7 @@ let analyze ?(name = "<raw>") (body : I.t array) : summary =
                 index = i;
                 written = true;
                 region = Clear.Analysis.region_name region;
-                component = component_of in_states.(i) base off;
+                component = component_of in_states.(i) base off (Clear.Analysis.region_name region);
                 in_cycle = in_cycle.(i);
               }
               :: !sites
@@ -418,6 +436,7 @@ let analyze ?(name = "<raw>") (body : I.t array) : summary =
     {
       name;
       body;
+      regions;
       reachable = reached;
       in_cycle;
       in_states;
@@ -434,7 +453,7 @@ let analyze ?(name = "<raw>") (body : I.t array) : summary =
     }
   end
 
-let analyze_ar (ar : Isa.Program.ar) = analyze ~name:ar.name ar.body
+let analyze_ar (ar : Isa.Program.ar) = analyze ~name:ar.name ~regions:ar.regions ar.body
 
 (* Concrete membership of a witness line in a site set, under the witness's
    initial registers. *)
@@ -443,7 +462,7 @@ let line_in_sites ~init sites line =
     (fun s ->
       match s.component with
       | Cany -> true
-      | Cwords { lo; hi } -> lo asr 3 <= line && line <= hi asr 3
+      | Cwords { lo; hi } | Cregion { lo; hi; _ } -> lo asr 3 <= line && line <= hi asr 3
       | Crel { reg; lo; hi } ->
           let base = init reg in
           (base + lo) asr 3 <= line && line <= (base + hi) asr 3)

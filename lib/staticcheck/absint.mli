@@ -20,6 +20,11 @@ type component =
   | Cwords of { lo : int; hi : int }  (** absolute word addresses in [lo, hi] *)
   | Crel of { reg : Isa.Instr.reg; lo : int; hi : int }
       (** word addresses in [init(reg) + lo, init(reg) + hi] *)
+  | Cregion of { lo : int; hi : int; region : string }
+      (** indirection-lost site bounded by its region tag's declared word
+          extent [lo, hi] (from {!Isa.Program.ar} [regions]); sound as long
+          as tagged accesses stay inside their region, which the dynamic
+          gate verifies on every checked run *)
   | Cany  (** statically unbounded *)
 
 type site = {
@@ -33,6 +38,7 @@ type site = {
 type summary = {
   name : string;
   body : Isa.Instr.t array;
+  regions : (string * (int * int)) list;  (** region extent table the sites were built against *)
   reachable : bool array;
   in_cycle : bool array;
   in_states : Value.t array array;  (** narrowed per-register state before each instruction *)
@@ -50,11 +56,17 @@ type summary = {
   falls_off_end : bool;  (** some reachable path runs past the last instruction *)
 }
 
-val analyze : ?name:string -> Isa.Instr.t array -> summary
+val analyze : ?name:string -> ?regions:(string * (int * int)) list -> Isa.Instr.t array -> summary
 (** Accepts raw (possibly invalid) bodies: out-of-range branch targets
-    simply contribute no CFG edge; the lint pass reports them. *)
+    simply contribute no CFG edge; the lint pass reports them. [regions]
+    supplies per-region word extents used to refine indirection-lost sites
+    into {!Cregion} components. *)
 
 val analyze_ar : Isa.Program.ar -> summary
+
+val line_bound : site list -> bound
+(** Distinct-line bound for an arbitrary site subset (e.g. one region's
+    write sites), with the same counting rules the summary bounds use. *)
 
 val line_in_sites : init:(Isa.Instr.reg -> int) -> site list -> Mem.Addr.line -> bool
 (** Concrete containment check used by the soundness gate: is [line] within

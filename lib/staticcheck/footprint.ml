@@ -68,46 +68,101 @@ let of_ar ar = of_summary (Absint.analyze_ar ar)
 
 let resolvable t = t.resolvable
 
+let has_reg_relative t =
+  List.exists
+    (fun (site : Absint.site) ->
+      match site.Absint.component with Absint.Crel _ -> true | _ -> false)
+    t.sites
+
+(* Init-independent lower bound on [hi_line - lo_line] for one site. Exact
+   for absolute components; for [Crel] the base only shifts the window, so
+   (base+hi)>>3 - (base+lo)>>3 >= (hi-lo)>>3 for every base. *)
+let span_lb (site : Absint.site) =
+  match site.Absint.component with
+  | Absint.Cany -> 0
+  | Absint.Cwords { lo; hi } | Absint.Cregion { lo; hi; _ } -> (hi asr 3) - (lo asr 3)
+  | Absint.Crel { lo; hi; _ } -> (hi - lo) asr 3
+
+let always_capped t =
+  t.resolvable && List.exists (fun s -> span_lb s >= line_cap) t.sites
+
+let cover_lines_lb t =
+  List.fold_left (fun acc s -> max acc (span_lb s + 1)) 0 t.sites
+
 (* Mirror of [Absint.line_in_sites]'s arithmetic (lines are [addr asr 3],
-   unbound registers are 0), but producing the explicit line set instead of
-   a membership test. *)
-let lines_for t ~init =
-  if not t.resolvable then None
+   unbound registers are 0), but producing line ranges instead of a
+   membership test. [None] iff the site is statically unbounded or binds to
+   a negative (nonsense) line — never because of size. *)
+let site_range ~lookup (site : Absint.site) =
+  let range =
+    match site.Absint.component with
+    | Absint.Cany -> None
+    | Absint.Cwords { lo; hi } | Absint.Cregion { lo; hi; _ } -> Some (lo asr 3, hi asr 3)
+    | Absint.Crel { reg; lo; hi } ->
+        let base = lookup reg in
+        Some ((base + lo) asr 3, (base + hi) asr 3)
+  in
+  match range with
+  | Some (llo, lhi) when llo >= 0 && lhi >= llo -> Some (llo, lhi)
+  | _ -> None
+
+let lookup_of init r = match List.assoc_opt r init with Some v -> v | None -> 0
+
+let lines_for_r t ~init =
+  if not t.resolvable then `Unresolvable
   else begin
-    let lookup r = match List.assoc_opt r init with Some v -> v | None -> 0 in
+    let lookup = lookup_of init in
     let tbl = Hashtbl.create 32 in
-    let ok = ref true in
+    let status = ref `Lines in
     List.iter
       (fun (site : Absint.site) ->
-        if !ok then
-          let range =
-            match site.Absint.component with
-            | Absint.Cany -> None
-            | Absint.Cwords { lo; hi } -> Some (lo asr 3, hi asr 3)
-            | Absint.Crel { reg; lo; hi } ->
-                let base = lookup reg in
-                Some ((base + lo) asr 3, (base + hi) asr 3)
-          in
-          match range with
-          | None -> ok := false
+        if !status = `Lines then
+          match site_range ~lookup site with
+          | None -> status := `Unresolvable
           | Some (llo, lhi) ->
-              if llo < 0 || lhi < llo || lhi - llo >= line_cap then ok := false
+              if lhi - llo >= line_cap then status := `Capped
               else
                 for l = llo to lhi do
-                  if !ok then begin
+                  if !status = `Lines then begin
                     if not (Hashtbl.mem tbl l) then Hashtbl.replace tbl l ();
-                    if Hashtbl.length tbl > line_cap then ok := false
+                    if Hashtbl.length tbl > line_cap then status := `Capped
                   end
                 done)
       t.sites;
-    if not !ok then None
-    else begin
-      let lines = Hashtbl.fold (fun l () acc -> l :: acc) tbl [] in
-      let arr = Array.of_list lines in
-      Array.sort Int.compare arr;
-      Some arr
-    end
+    match !status with
+    | `Lines ->
+        let lines = Hashtbl.fold (fun l () acc -> l :: acc) tbl [] in
+        let arr = Array.of_list lines in
+        Array.sort Int.compare arr;
+        `Lines arr
+    | (`Capped | `Unresolvable) as r -> r
   end
+
+let lines_for t ~init =
+  match lines_for_r t ~init with `Lines arr -> Some arr | `Capped | `Unresolvable -> None
+
+(* Sorted, disjoint, non-adjacent line intervals covering every line any
+   execution may touch. Unlike [lines_for] there is no size cap: a cover is
+   a constant number of intervals per site, so even pool-sized regions stay
+   cheap. [None] only when a site is statically unbounded. *)
+let cover_of_sites sites ~init =
+  let lookup = lookup_of init in
+  let ranges = List.filter_map (fun s -> site_range ~lookup s) sites in
+  if List.length ranges <> List.length sites then None
+  else begin
+    let arr = Array.of_list ranges in
+    Array.sort compare arr;
+    let out = ref [] in
+    Array.iter
+      (fun (lo, hi) ->
+        match !out with
+        | (plo, phi) :: rest when lo <= phi + 1 -> out := (plo, max phi hi) :: rest
+        | _ -> out := (lo, hi) :: !out)
+      arr;
+    Some (Array.of_list (List.rev !out))
+  end
+
+let lines_cover t ~init = cover_of_sites t.sites ~init
 
 let min_cycles_to_halt t ~pc = if pc < 0 || pc >= Array.length t.mth then 0 else t.mth.(pc)
 

@@ -28,12 +28,50 @@ val of_summary : Absint.summary -> t
 val resolvable : t -> bool
 (** All memory sites have bounded components — [lines_for] can succeed. *)
 
+val has_reg_relative : t -> bool
+(** Some site's component is register-relative ([Crel]) — the resolved
+    footprint then depends on the operation's initial registers. When false,
+    {!lines_for_r} and {!lines_cover} return the same result for every
+    [init], so callers may memoize the resolution per region. *)
+
+val always_capped : t -> bool
+(** {!lines_for_r} returns [`Capped] under every binding: the region is
+    resolvable but some single site's line span already reaches the
+    enumeration cap no matter what the initial registers are. Lets callers
+    skip the doomed enumeration entirely. *)
+
+val cover_lines_lb : t -> int
+(** Init-independent lower bound on the total number of lines in any
+    {!lines_cover} result (the widest single site, since merging only
+    grows spans). Callers that expand covers under a size cap can refuse
+    statically when this already exceeds it. *)
+
 val lines_for : t -> init:(Isa.Instr.reg * int) list -> int array option
 (** Sorted, distinct lines one execution may touch once initial registers
     are bound by [init] (unbound registers read as 0, matching
     [Regfile.load_initial] on a reset file). [None] when any site is
     unbounded, resolves to a negative line, or the expansion exceeds a small
-    cap — callers must then fall back to dynamic bounds. *)
+    cap — callers must then fall back to {!lines_cover} or dynamic bounds.
+    Use {!lines_for_r} to distinguish the cap from true unresolvability. *)
+
+val lines_for_r :
+  t -> init:(Isa.Instr.reg * int) list -> [ `Lines of int array | `Capped | `Unresolvable ]
+(** Like {!lines_for} but distinguishes the expansion cap ([`Capped]: every
+    site is bounded, the explicit set is just too large to enumerate — a
+    cover still exists) from genuine unboundedness ([`Unresolvable]: some
+    site is [Cany] or binds to a negative line). *)
+
+val lines_cover : t -> init:(Isa.Instr.reg * int) list -> (int * int) array option
+(** Sorted, disjoint, non-adjacent inclusive line intervals covering every
+    line one execution may touch under [init]. No size cap — a cover is one
+    interval per site before merging, so pool-sized [Cregion] extents stay
+    cheap. [None] only when a site is unbounded or binds negative. When both
+    resolve, the cover is a superset of [lines_for] (qcheck-enforced). *)
+
+val cover_of_sites :
+  Absint.site list -> init:(Isa.Instr.reg * int) list -> (int * int) array option
+(** {!lines_cover} over an arbitrary site subset (e.g. only written sites) —
+    the building block for the static may-conflict matrix. *)
 
 val min_cycles_to_halt : t -> pc:int -> int
 (** Lower bound on cycles from (and including) the execution of the

@@ -6,16 +6,29 @@ type violation =
       bound : string;
     }
   | Decision_escape of { ar : string; decision : Clear.Decision.mode; envelope : string }
+  | Conflict_escape of {
+      aggressor : string;
+      victim : string;
+      line : Mem.Addr.line;
+      cover : string;
+    }
 
 type t = {
   params : Predict.params;
   fault_drop_store : bool;
   summaries : (int * string, Absint.summary) Hashtbl.t;
   predictions : (int * string, Predict.t) Hashtbl.t;
+  mutable conflicts : Conflict.t option;  (* built lazily from the first workload seen *)
 }
 
 let create ?(fault_drop_store = false) params =
-  { params; fault_drop_store; summaries = Hashtbl.create 8; predictions = Hashtbl.create 8 }
+  {
+    params;
+    fault_drop_store;
+    summaries = Hashtbl.create 8;
+    predictions = Hashtbl.create 8;
+    conflicts = None;
+  }
 
 let key (ar : Isa.Program.ar) = (ar.Isa.Program.id, ar.Isa.Program.name)
 
@@ -82,6 +95,32 @@ let check_commit t ~(ar : Isa.Program.ar) ~init_regs ~reads ~writes =
   | Error _ as e -> e
   | Ok () -> first_escape `Write writes_set writes
 
+let conflict_matrix t ~ars =
+  match t.conflicts with
+  | Some c -> c
+  | None ->
+      let c = Conflict.of_ars ~params:t.params ars in
+      t.conflicts <- Some c;
+      c
+
+let check_conflict t ~ars ~(aggressor : Isa.Program.ar) ~(victim : Isa.Program.ar) ~line =
+  let c = conflict_matrix t ~ars in
+  let escape cover =
+    Error
+      (Conflict_escape
+         {
+           aggressor = aggressor.Isa.Program.name;
+           victim = victim.Isa.Program.name;
+           line;
+           cover;
+         })
+  in
+  match
+    Conflict.may_conflict_ids c ~ida:aggressor.Isa.Program.id ~idb:victim.Isa.Program.id
+  with
+  | Some cover -> if Conflict.mem cover line then Ok () else escape (Conflict.cover_to_string cover)
+  | None -> escape "<pair not in matrix>"
+
 let check_decision t ~(ar : Isa.Program.ar) ~decision =
   let p = prediction t ar in
   if Predict.decision_in_envelope p.Predict.envelope decision then Ok ()
@@ -104,3 +143,7 @@ let pp_violation ppf = function
   | Decision_escape { ar; decision; envelope } ->
       Format.fprintf ppf "AR %s: dynamic decision %s outside the static envelope %s" ar
         (Clear.Decision.mode_name decision) envelope
+  | Conflict_escape { aggressor; victim; line; cover } ->
+      Format.fprintf ppf
+        "ARs %s vs %s: dynamic conflict on line %d escapes the static may-conflict cover (%s)"
+        aggressor victim line cover

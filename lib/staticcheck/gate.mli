@@ -14,6 +14,12 @@ type violation =
       bound : string;  (** human-readable description of the violated bound *)
     }
   | Decision_escape of { ar : string; decision : Clear.Decision.mode; envelope : string }
+  | Conflict_escape of {
+      aggressor : string;
+      victim : string;
+      line : Mem.Addr.line;
+      cover : string;  (** printed static may-conflict cover for the pair *)
+    }
 
 type t
 
@@ -39,5 +45,17 @@ val check_commit :
 
 val check_decision :
   t -> ar:Isa.Program.ar -> decision:Clear.Decision.mode -> (unit, violation) result
+
+val check_conflict :
+  t ->
+  ars:Isa.Program.ar list ->
+  aggressor:Isa.Program.ar ->
+  victim:Isa.Program.ar ->
+  line:Mem.Addr.line ->
+  (unit, violation) result
+(** Every engine-observed conflict event (a doom or a cacheline-lock NACK
+    with a known line) must land inside the static may-conflict cover for
+    the aggressor/victim AR pair. The {!Conflict.t} matrix is built lazily
+    from [ars] (the workload's full region list) on first use and cached. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -16,9 +16,9 @@ let errors ds = List.length (List.filter (fun d -> d.severity = Error) ds)
 
 let absurd_offset = 1 lsl 20
 
-let check_body ?(name = "<raw>") (body : I.t array) =
+let check_body ?(name = "<raw>") ?(regions = []) (body : I.t array) =
   let n = Array.length body in
-  let s = Absint.analyze ~name body in
+  let s = Absint.analyze ~name ~regions body in
   let diags = ref [] in
   let add severity index code message = diags := { severity; ar = name; index; code; message } :: !diags in
   (* Registers read anywhere in the body (as any source operand). *)
@@ -88,9 +88,38 @@ let check_body ?(name = "<raw>") (body : I.t array) =
     && (not s.Absint.falls_off_end)
     && not (Array.exists2 (fun r instr -> r && instr = I.Halt) s.Absint.reachable body)
   then add Error None "missing-halt" "no Halt instruction is reachable";
+  (* Region-extent diagnostics: the may-conflict matrix (Conflict) binds
+     sites the interval domain lost by their region tag's declared extent,
+     so a lost site in an extent-free region silently degrades every cover
+     involving this AR to Top; and a concrete window escaping its declared
+     extent means the tag lies about containment (the dynamic gate would
+     catch the escape, but it is worth flagging statically). *)
+  List.iter
+    (fun (site : Absint.site) ->
+      if site.Absint.region <> Clear.Analysis.anon_region then
+        match List.assoc_opt site.Absint.region s.Absint.regions with
+        | None -> (
+            match site.Absint.component with
+            | Absint.Cany ->
+                add Info (Some site.Absint.index) "region-no-extent"
+                  (Printf.sprintf
+                     "address unresolvable and region %S declares no extent; the may-conflict \
+                      cover for this AR degrades to any-line"
+                     site.Absint.region)
+            | _ -> ())
+        | Some (rlo, rhi) -> (
+            match site.Absint.component with
+            | Absint.Cwords { lo; hi } when lo < rlo || hi > rhi ->
+                add Warning (Some site.Absint.index) "region-escape"
+                  (Printf.sprintf
+                     "static window [%d,%d] escapes region %S's declared extent [%d,%d]" lo hi
+                     site.Absint.region rlo rhi)
+            | _ -> ()))
+    s.Absint.sites;
   List.rev !diags
 
-let check_ar (ar : Isa.Program.ar) = check_body ~name:ar.Isa.Program.name ar.Isa.Program.body
+let check_ar (ar : Isa.Program.ar) =
+  check_body ~name:ar.Isa.Program.name ~regions:ar.Isa.Program.regions ar.Isa.Program.body
 
 let pp_diag ppf d =
   Format.fprintf ppf "%s: %s%s: %s: %s" (severity_name d.severity) d.ar

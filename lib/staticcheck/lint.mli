@@ -21,8 +21,12 @@ type diag = {
 
 val errors : diag list -> int
 
-val check_body : ?name:string -> Isa.Instr.t array -> diag list
-(** Works on raw bodies, including ones {!Isa.Instr.validate} rejects. *)
+val check_body : ?name:string -> ?regions:(string * (int * int)) list -> Isa.Instr.t array -> diag list
+(** Works on raw bodies, including ones {!Isa.Instr.validate} rejects.
+    [regions] is the region→word-extent table ({!Isa.Program.ar} [regions]);
+    with it, lint also flags windows escaping their declared extent
+    ([region-escape]) and unresolvable sites in extent-free regions
+    ([region-no-extent], which degrade the may-conflict cover to any-line). *)
 
 val check_ar : Isa.Program.ar -> diag list
 

@@ -54,6 +54,10 @@ type t = {
   lock_groups : int option;  (** distinct directory sets, when fully concrete *)
   concrete_lines : Mem.Addr.line list option;
       (** exact footprint when every site is a bounded absolute window *)
+  region_rw_bounds : (string * (Absint.bound * Absint.bound)) list;
+      (** per region tag, (read-line, write-line) distinct-set-size bounds —
+          the static read/write-set reservations a limited-read-write HTM
+          backend (LRW, PAPERS.md) would need for this region *)
   envelope : envelope;
 }
 

@@ -5,10 +5,11 @@ open Common
 
 let make ?(slots = 48) ?(theta = zipf_theta_default) () =
   let layout = Layout.create () in
-  let base = Layout.alloc_lines layout slots in
+  let base = Layout.alloc_lines ~region:"arr" layout slots in
   let stride = Mem.Addr.words_per_line in
+  let regions = Layout.extents layout in
   let swap =
-    P.build_ar ~id:0 ~name:"swap" (fun b ->
+    P.build_ar ~id:0 ~name:"swap" ~regions (fun b ->
         (* r0 = &a, r1 = &b *)
         A.ld b ~dst:8 ~base:(reg 0) ~region:"arr" ();
         A.ld b ~dst:9 ~base:(reg 1) ~region:"arr" ();
@@ -17,7 +18,7 @@ let make ?(slots = 48) ?(theta = zipf_theta_default) () =
         A.halt b)
   in
   let add_pair =
-    P.build_ar ~id:1 ~name:"add_pair" (fun b ->
+    P.build_ar ~id:1 ~name:"add_pair" ~regions (fun b ->
         (* r0 = &a, r1 = &b, r2 = delta: a <- a + b + delta *)
         A.ld b ~dst:8 ~base:(reg 0) ~region:"arr" ();
         A.ld b ~dst:9 ~base:(reg 1) ~region:"arr" ();
@@ -45,6 +46,7 @@ let make ?(slots = 48) ?(theta = zipf_theta_default) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

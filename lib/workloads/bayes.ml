@@ -16,8 +16,8 @@ let n_ptr = 1
 let n_next = 2
 
 (* Ring push/pop over task descriptors (one word per slot). *)
-let build_ring_op ~id ~name ~push =
-  P.build_ar ~id ~name (fun b ->
+let build_ring_op ~id ~name ~push ~regions =
+  P.build_ar ~id ~name ~regions (fun b ->
       (* r0 = &index, r1 = ring base, r3 = capacity, r2 = payload (push),
          r5 = mailbox (pop) *)
       A.ld b ~dst:8 ~base:(reg 0) ~region:"bay.idx" ();
@@ -33,8 +33,8 @@ let build_ring_op ~id ~name ~push =
       A.halt b)
 
 (* Duplicate-checking insert into a parent list. *)
-let build_add_parent ~id =
-  P.build_ar ~id ~name:"add_parent" (fun b ->
+let build_add_parent ~id ~regions =
+  P.build_ar ~id ~name:"add_parent" ~regions (fun b ->
       (* r0 = variable record, r1 = parent id, r2 = fresh node,
          r4 = parent record pointer *)
       let loop = A.new_label b in
@@ -56,8 +56,8 @@ let build_add_parent ~id =
       A.place b done_;
       A.halt b)
 
-let build_remove_parent ~id =
-  P.build_ar ~id ~name:"remove_parent" (fun b ->
+let build_remove_parent ~id ~regions =
+  P.build_ar ~id ~name:"remove_parent" ~regions (fun b ->
       (* r0 = variable record, r1 = parent id, r5 = mailbox *)
       let loop = A.new_label b in
       let unlink = A.new_label b in
@@ -81,8 +81,8 @@ let build_remove_parent ~id =
       A.place b done_;
       A.halt b)
 
-let build_has_parent ~id =
-  P.build_ar ~id ~name:"has_parent" (fun b ->
+let build_has_parent ~id ~regions =
+  P.build_ar ~id ~name:"has_parent" ~regions (fun b ->
       (* r0 = variable record, r1 = parent id, r5 = mailbox *)
       let loop = A.new_label b in
       let hit = A.new_label b in
@@ -103,8 +103,8 @@ let build_has_parent ~id =
       A.place b done_;
       A.halt b)
 
-let build_count_parents ~id =
-  P.build_ar ~id ~name:"count_parents" (fun b ->
+let build_count_parents ~id ~regions =
+  P.build_ar ~id ~name:"count_parents" ~regions (fun b ->
       (* r0 = variable record, r5 = mailbox *)
       let loop = A.new_label b in
       let done_ = A.new_label b in
@@ -121,8 +121,8 @@ let build_count_parents ~id =
 
 (* Move a parenthood edge: unlink [r1] from variable [r0], prepend the node
    to variable [r6]'s list. *)
-let build_reverse_edge ~id =
-  P.build_ar ~id ~name:"reverse_edge" (fun b ->
+let build_reverse_edge ~id ~regions =
+  P.build_ar ~id ~name:"reverse_edge" ~regions (fun b ->
       let loop = A.new_label b in
       let unlink = A.new_label b in
       let done_ = A.new_label b in
@@ -145,8 +145,8 @@ let build_reverse_edge ~id =
 
 (* Sum the scores of every parent (dereferences each node's record
    pointer). *)
-let build_sum_family ~id =
-  P.build_ar ~id ~name:"sum_family_scores" (fun b ->
+let build_sum_family ~id ~regions =
+  P.build_ar ~id ~name:"sum_family_scores" ~regions (fun b ->
       (* r0 = variable record, r5 = mailbox *)
       let loop = A.new_label b in
       let done_ = A.new_label b in
@@ -164,8 +164,8 @@ let build_sum_family ~id =
       A.halt b)
 
 (* Bump every parent's score (write version of sum_family). *)
-let build_touch_family ~id =
-  P.build_ar ~id ~name:"touch_family" (fun b ->
+let build_touch_family ~id ~regions =
+  P.build_ar ~id ~name:"touch_family" ~regions (fun b ->
       (* r0 = variable record, r1 = delta *)
       let loop = A.new_label b in
       let done_ = A.new_label b in
@@ -183,48 +183,55 @@ let build_touch_family ~id =
 
 let make ?(vars = 24) ?(ring_capacity = 48) ?(pool_per_thread = 256) () =
   let layout = Layout.create () in
-  let ring_head = Layout.alloc_line layout in
-  let ring_tail = Layout.alloc_line layout in
-  let ring = Layout.alloc_lines layout (ring_capacity / Mem.Addr.words_per_line) in
-  let var_recs = Array.init vars (fun _ -> Layout.alloc_line layout) in
-  let var_dir = Layout.alloc_words layout vars in
-  let progress_dir = Layout.alloc_words layout 1 in
-  let progress_rec = Layout.alloc_line layout in
+  let ring_head = Layout.alloc_line ~region:"bay.idx" layout in
+  let ring_tail = Layout.alloc_line ~region:"bay.idx" layout in
+  let ring = Layout.alloc_lines ~region:"bay.ring" layout (ring_capacity / Mem.Addr.words_per_line) in
+  let var_recs = Array.init vars (fun _ -> Layout.alloc_line ~region:"bay.var" layout) in
+  let var_dir = Layout.alloc_words ~region:"bay.dir" layout vars in
+  let progress_dir = Layout.alloc_words ~region:"bay.pdir" layout 1 in
+  let progress_rec = Layout.alloc_line ~region:"bay.prog" layout in
   let mail = mailboxes layout ~threads:max_threads in
   let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"bay.node" layout))
   in
+  (* Parent-list walks are tagged "bay.node" but traverse through the
+     variable records' embedded list heads, so the node extent must take
+     the record range in. *)
+  Layout.note_span layout ~region:"bay.node" ~lo:var_recs.(0)
+    ~hi:(var_recs.(vars - 1) + Mem.Addr.words_per_line - 1);
+  let regions = Layout.extents layout in
   (* Likely-immutable ARs: record updates through read-only directories. *)
   let update_score =
     dir_update_ar ~id:0 ~name:"update_score" ~dir_region:"bay.dir" ~record_region:"bay.var"
-      ~fields:[ (v_score, `Add_reg 1) ]
+      ~fields:[ (v_score, `Add_reg 1) ] ~regions ()
   in
   let inc_parent_count =
     dir_update_ar ~id:1 ~name:"inc_parent_count" ~dir_region:"bay.dir" ~record_region:"bay.var"
-      ~fields:[ (1, `Add_reg 1) ]
+      ~fields:[ (1, `Add_reg 1) ] ~regions ()
   in
   let dec_parent_count =
     dir_update_ar ~id:2 ~name:"dec_parent_count" ~dir_region:"bay.dir" ~record_region:"bay.var"
-      ~fields:[ (1, `Add_reg 1) ]
+      ~fields:[ (1, `Add_reg 1) ] ~regions ()
   in
   let log_progress =
     dir_update_ar ~id:3 ~name:"log_progress" ~dir_region:"bay.pdir" ~record_region:"bay.prog"
-      ~fields:[ (0, `Add_reg 1); (1, `Set_reg 2) ]
+      ~fields:[ (0, `Add_reg 1); (1, `Set_reg 2) ] ~regions ()
   in
   let read_scores =
     dir_read_ar ~id:4 ~name:"read_scores" ~dir_region:"bay.dir" ~record_region:"bay.var"
-      ~offsets:[ 0; 1 ] ~mailbox_reg:5
+      ~offsets:[ 0; 1 ] ~mailbox_reg:5 ~regions ()
   in
   (* Mutable ARs. *)
-  let push_task = build_ring_op ~id:5 ~name:"push_task" ~push:true in
-  let pop_task = build_ring_op ~id:6 ~name:"pop_task" ~push:false in
-  let add_parent = build_add_parent ~id:7 in
-  let remove_parent = build_remove_parent ~id:8 in
-  let has_parent = build_has_parent ~id:9 in
-  let count_parents = build_count_parents ~id:10 in
-  let reverse_edge = build_reverse_edge ~id:11 in
-  let sum_family = build_sum_family ~id:12 in
-  let touch_family = build_touch_family ~id:13 in
+  let push_task = build_ring_op ~id:5 ~name:"push_task" ~push:true ~regions in
+  let pop_task = build_ring_op ~id:6 ~name:"pop_task" ~push:false ~regions in
+  let add_parent = build_add_parent ~id:7 ~regions in
+  let remove_parent = build_remove_parent ~id:8 ~regions in
+  let has_parent = build_has_parent ~id:9 ~regions in
+  let count_parents = build_count_parents ~id:10 ~regions in
+  let reverse_edge = build_reverse_edge ~id:11 ~regions in
+  let sum_family = build_sum_family ~id:12 ~regions in
+  let touch_family = build_touch_family ~id:13 ~regions in
   let setup store rng =
     Mem.Store.write store ring_head 0;
     Mem.Store.write store ring_tail 0;
@@ -294,6 +301,7 @@ let make ?(vars = 24) ?(ring_capacity = 48) ?(pool_per_thread = 256) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

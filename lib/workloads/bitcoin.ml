@@ -7,10 +7,10 @@ let make ?(wallets = 64) ?(theta = zipf_theta_heavy) () =
   let layout = Layout.create () in
   (* users directory: one pointer per word, packed (read-only, so sharing a
      line across entries is harmless). *)
-  let users = Layout.alloc_words layout wallets in
-  let wallet_lines = Array.init wallets (fun _ -> Layout.alloc_line layout) in
+  let users = Layout.alloc_words ~region:"users" layout wallets in
+  let wallet_lines = Array.init wallets (fun _ -> Layout.alloc_line ~region:"wallet" layout) in
   let transfer =
-    P.build_ar ~id:0 ~name:"transfer" (fun b ->
+    P.build_ar ~id:0 ~name:"transfer" ~regions:(Layout.extents layout) (fun b ->
         (* r0 = &users[from], r1 = &users[to], r2 = amount *)
         A.ld b ~dst:8 ~base:(reg 0) ~region:"users" ();
         A.ld b ~dst:9 ~base:(reg 1) ~region:"users" ();
@@ -41,6 +41,7 @@ let make ?(wallets = 64) ?(theta = zipf_theta_heavy) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -14,8 +14,8 @@ let o_right = 2
 
 let o_alive = 3
 
-let build_insert ~id =
-  P.build_ar ~id ~name:"insert" (fun b ->
+let build_insert ~id ~regions =
+  P.build_ar ~id ~regions ~name:"insert" (fun b ->
       (* r0 = &root pointer, r1 = key, r2 = fresh node. Revives the key if a
          dead node for it exists. *)
       let loop = A.new_label b in
@@ -85,15 +85,15 @@ let search_body b ~found_action =
   A.place b done_;
   A.halt b
 
-let build_contains ~id =
-  P.build_ar ~id ~name:"contains" (fun b ->
+let build_contains ~id ~regions =
+  P.build_ar ~id ~regions ~name:"contains" (fun b ->
       (* r0 = &root, r1 = key, r3 = mailbox: 1 when present and alive *)
       search_body b ~found_action:(fun () ->
           A.ld b ~dst:10 ~base:(reg 8) ~off:o_alive ~region:"bst.node" ();
           A.st b ~base:(reg 3) ~src:(reg 10) ~region:"mailbox" ()))
 
-let build_delete ~id =
-  P.build_ar ~id ~name:"delete" (fun b ->
+let build_delete ~id ~regions =
+  P.build_ar ~id ~regions ~name:"delete" (fun b ->
       (* r0 = &root, r1 = key, r3 = mailbox: lazy delete (mark dead) *)
       search_body b ~found_action:(fun () ->
           A.st b ~base:(reg 8) ~off:o_alive ~src:(imm 0) ~region:"bst.node" ();
@@ -101,15 +101,19 @@ let build_delete ~id =
 
 let make ?(initial = 96) ?(key_range = 1024) ?(pool_per_thread = 512) () =
   let layout = Layout.create () in
-  let root = Layout.alloc_line layout in
+  let root = Layout.alloc_line ~region:"bst.root" layout in
   let mail = mailboxes layout ~threads:max_threads in
-  let setup_pool = Array.init initial (fun _ -> Layout.alloc_lines layout 1) in
-  let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+  let setup_pool =
+    Array.init initial (fun _ -> Layout.alloc_lines ~region:"bst.node" layout 1)
   in
-  let insert = build_insert ~id:0 in
-  let contains = build_contains ~id:1 in
-  let delete = build_delete ~id:2 in
+  let pools =
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"bst.node" layout))
+  in
+  let regions = Layout.extents layout in
+  let insert = build_insert ~id:0 ~regions in
+  let contains = build_contains ~id:1 ~regions in
+  let delete = build_delete ~id:2 ~regions in
   let setup store rng =
     Mem.Store.write store root 0;
     (* Host-side insert of the initial keys using the setup pool. *)
@@ -162,6 +166,7 @@ let make ?(initial = 96) ?(key_range = 1024) ?(pool_per_thread = 512) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -16,17 +16,18 @@ let zipf_theta_default = 0.4
 
 let zipf_theta_light = 0.3
 
-let mailboxes layout ~threads = Array.init threads (fun _ -> Layout.alloc_line layout)
+let mailboxes layout ~threads =
+  Array.init threads (fun _ -> Layout.alloc_line ~region:"mailbox" layout)
 
-let fetch_add_ar ~id ~name ~region =
-  P.build_ar ~id ~name (fun b ->
+let fetch_add_ar ?regions ~id ~name ~region () =
+  P.build_ar ?regions ~id ~name (fun b ->
       A.ld b ~dst:8 ~base:(reg 0) ~region ();
       A.add b ~dst:8 (reg 8) (reg 1);
       A.st b ~base:(reg 0) ~src:(reg 8) ~region ();
       A.halt b)
 
-let dir_update_ar ~id ~name ~dir_region ~record_region ~fields =
-  P.build_ar ~id ~name (fun b ->
+let dir_update_ar ?regions ~id ~name ~dir_region ~record_region ~fields () =
+  P.build_ar ?regions ~id ~name (fun b ->
       A.ld b ~dst:8 ~base:(reg 0) ~region:dir_region ();
       List.iter
         (fun (off, action) ->
@@ -39,8 +40,8 @@ let dir_update_ar ~id ~name ~dir_region ~record_region ~fields =
         fields;
       A.halt b)
 
-let dir_read_ar ~id ~name ~dir_region ~record_region ~offsets ~mailbox_reg =
-  P.build_ar ~id ~name (fun b ->
+let dir_read_ar ?regions ~id ~name ~dir_region ~record_region ~offsets ~mailbox_reg () =
+  P.build_ar ?regions ~id ~name (fun b ->
       A.ld b ~dst:8 ~base:(reg 0) ~region:dir_region ();
       A.mov b ~dst:9 (imm 0);
       List.iter

@@ -10,18 +10,21 @@ val reg : int -> Isa.Instr.operand
 val imm : int -> Isa.Instr.operand
 
 val mailboxes : Layout.t -> threads:int -> Mem.Addr.t array
-(** One line-aligned result slot per thread. *)
+(** One line-aligned result slot per thread, tagged region "mailbox". *)
 
-val fetch_add_ar : id:int -> name:string -> region:string -> Isa.Program.ar
+val fetch_add_ar :
+  ?regions:(string * (int * int)) list -> id:int -> name:string -> region:string -> unit -> Isa.Program.ar
 (** [r0] = counter address, [r1] = delta: load, add, store. No indirection —
     statically immutable. *)
 
 val dir_update_ar :
+  ?regions:(string * (int * int)) list ->
   id:int ->
   name:string ->
   dir_region:string ->
   record_region:string ->
   fields:(int * [ `Add_reg of int | `Set_reg of int ]) list ->
+  unit ->
   Isa.Program.ar
 (** [r0] = address of a directory slot holding a record pointer. The AR loads
     the pointer (the directory is never written inside ARs, so the
@@ -30,12 +33,14 @@ val dir_update_ar :
     [rec\[offset\] += regs\[r\]]; [`Set_reg] overwrites. *)
 
 val dir_read_ar :
+  ?regions:(string * (int * int)) list ->
   id:int ->
   name:string ->
   dir_region:string ->
   record_region:string ->
   offsets:int list ->
   mailbox_reg:int ->
+  unit ->
   Isa.Program.ar
 (** Like {!dir_update_ar} but read-only on the record: sums the words at
     [offsets] and stores the result to the mailbox address in

@@ -3,8 +3,8 @@ module P = Isa.Program
 module W = Machine.Workload
 open Common
 
-let build_push_back ~id =
-  P.build_ar ~id ~name:"push_back" (fun b ->
+let build_push_back ~id ~regions =
+  P.build_ar ~id ~name:"push_back" ~regions (fun b ->
       (* r0 = &tail, r1 = slots base, r2 = value, r3 = capacity *)
       A.ld b ~dst:8 ~base:(reg 0) ~region:"dq.idx" ();
       A.binop b Isa.Instr.Rem ~dst:9 (reg 8) (reg 3);
@@ -15,8 +15,8 @@ let build_push_back ~id =
       A.st b ~base:(reg 0) ~src:(reg 8) ~region:"dq.idx" ();
       A.halt b)
 
-let build_pop_front ~id =
-  P.build_ar ~id ~name:"pop_front" (fun b ->
+let build_pop_front ~id ~regions =
+  P.build_ar ~id ~name:"pop_front" ~regions (fun b ->
       (* r0 = &head, r4 = &tail, r1 = slots base, r3 = capacity, r5 = mailbox *)
       let empty = A.new_label b in
       let done_ = A.new_label b in
@@ -38,12 +38,13 @@ let build_pop_front ~id =
 
 let make ?(capacity = 64) () =
   let layout = Layout.create () in
-  let head = Layout.alloc_line layout in
-  let tail = Layout.alloc_line layout in
-  let slots = Layout.alloc_lines layout capacity in
+  let head = Layout.alloc_line ~region:"dq.idx" layout in
+  let tail = Layout.alloc_line ~region:"dq.idx" layout in
+  let slots = Layout.alloc_lines ~region:"dq.slot" layout capacity in
   let mail = mailboxes layout ~threads:max_threads in
-  let push_back = build_push_back ~id:0 in
-  let pop_front = build_pop_front ~id:1 in
+  let regions = Layout.extents layout in
+  let push_back = build_push_back ~id:0 ~regions in
+  let pop_front = build_pop_front ~id:1 ~regions in
   let setup store rng =
     (* Pre-fill half the deque so pops succeed from the start. *)
     let prefill = capacity / 2 in
@@ -65,6 +66,7 @@ let make ?(capacity = 64) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -14,8 +14,8 @@ let s_link = 1
 
 let s_weight = 2
 
-let build_hs_insert ~id =
-  P.build_ar ~id ~name:"hashset_insert" (fun b ->
+let build_hs_insert ~id ~regions =
+  P.build_ar ~id ~name:"hashset_insert" ~regions (fun b ->
       (* r0 = &bucket, r1 = key, r2 = fresh node, r5 = mailbox (1 if new) *)
       let loop = A.new_label b in
       let dup = A.new_label b in
@@ -40,8 +40,8 @@ let build_hs_insert ~id =
       A.place b done_;
       A.halt b)
 
-let build_hs_contains ~id =
-  P.build_ar ~id ~name:"hashset_contains" (fun b ->
+let build_hs_contains ~id ~regions =
+  P.build_ar ~id ~name:"hashset_contains" ~regions (fun b ->
       (* r0 = &bucket, r1 = key, r5 = mailbox *)
       let loop = A.new_label b in
       let hit = A.new_label b in
@@ -64,8 +64,8 @@ let build_hs_contains ~id =
 
 (* Append a segment to the chain starting at the given segment: walk the
    [link] pointers to the end and attach. *)
-let build_chain_append ~id =
-  P.build_ar ~id ~name:"chain_append" (fun b ->
+let build_chain_append ~id ~regions =
+  P.build_ar ~id ~name:"chain_append" ~regions (fun b ->
       (* r0 = chain head segment, r2 = segment to attach *)
       let loop = A.new_label b in
       let attach = A.new_label b in
@@ -84,8 +84,8 @@ let build_chain_append ~id =
       A.halt b)
 
 (* Sum the weights along a segment chain. *)
-let build_chain_weight ~id =
-  P.build_ar ~id ~name:"chain_weight" (fun b ->
+let build_chain_weight ~id ~regions =
+  P.build_ar ~id ~name:"chain_weight" ~regions (fun b ->
       (* r0 = chain head segment, r5 = mailbox *)
       let loop = A.new_label b in
       let done_ = A.new_label b in
@@ -102,8 +102,8 @@ let build_chain_weight ~id =
       A.halt b)
 
 (* Bump the weight of the segment at the end of a chain. *)
-let build_bump_tail ~id =
-  P.build_ar ~id ~name:"bump_tail_weight" (fun b ->
+let build_bump_tail ~id ~regions =
+  P.build_ar ~id ~name:"bump_tail_weight" ~regions (fun b ->
       (* r0 = chain head segment, r1 = delta *)
       let loop = A.new_label b in
       let found = A.new_label b in
@@ -121,18 +121,26 @@ let build_bump_tail ~id =
 
 let make ?(buckets = 16) ?(segment_range = 192) ?(pool_per_thread = 512) () =
   let layout = Layout.create () in
-  let hs_heads = Array.init buckets (fun _ -> Layout.alloc_line layout) in
+  let hs_heads = Array.init buckets (fun _ -> Layout.alloc_line ~region:"gen.hs" layout) in
   let chains = 24 in
-  let chain_heads = Array.init chains (fun _ -> Layout.alloc_line layout) in
+  let chain_heads = Array.init chains (fun _ -> Layout.alloc_line ~region:"gen.seg" layout) in
   let mail = mailboxes layout ~threads:max_threads in
   let pools =
     Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
   in
-  let hs_insert = build_hs_insert ~id:0 in
-  let hs_contains = build_hs_contains ~id:1 in
-  let chain_append = build_chain_append ~id:2 in
-  let chain_weight = build_chain_weight ~id:3 in
-  let bump_tail = build_bump_tail ~id:4 in
+  (* Pool nodes serve as both hash-set nodes and chain segments (the driver
+     draws both from the same per-thread pool), so both walk regions must
+     span the whole pool range. *)
+  let pool_lo = pools.(0).(0) in
+  let pool_hi = pools.(max_threads - 1).(pool_per_thread - 1) + Mem.Addr.words_per_line - 1 in
+  Layout.note_span layout ~region:"gen.hs" ~lo:pool_lo ~hi:pool_hi;
+  Layout.note_span layout ~region:"gen.seg" ~lo:pool_lo ~hi:pool_hi;
+  let regions = Layout.extents layout in
+  let hs_insert = build_hs_insert ~id:0 ~regions in
+  let hs_contains = build_hs_contains ~id:1 ~regions in
+  let chain_append = build_chain_append ~id:2 ~regions in
+  let chain_weight = build_chain_weight ~id:3 ~regions in
+  let bump_tail = build_bump_tail ~id:4 ~regions in
   let setup store rng =
     Array.iter (fun h -> Mem.Store.write store h 0) hs_heads;
     Array.iter
@@ -170,6 +178,7 @@ let make ?(buckets = 16) ?(segment_range = 192) ?(pool_per_thread = 512) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -9,8 +9,8 @@ let o_val = 1
 
 let o_next = 2
 
-let build_insert ~id =
-  P.build_ar ~id ~name:"insert" (fun b ->
+let build_insert ~id ~regions =
+  P.build_ar ~id ~regions ~name:"insert" (fun b ->
       (* r0 = &bucket head, r1 = key, r2 = value, r3 = fresh node.
          Updates in place when the key exists, else prepends. *)
       let loop = A.new_label b in
@@ -37,8 +37,8 @@ let build_insert ~id =
       A.place b done_;
       A.halt b)
 
-let build_lookup ~id =
-  P.build_ar ~id ~name:"lookup" (fun b ->
+let build_lookup ~id ~regions =
+  P.build_ar ~id ~regions ~name:"lookup" (fun b ->
       (* r0 = &bucket head, r1 = key, r5 = mailbox *)
       let loop = A.new_label b in
       let found = A.new_label b in
@@ -60,8 +60,8 @@ let build_lookup ~id =
       A.place b done_;
       A.halt b)
 
-let build_remove ~id =
-  P.build_ar ~id ~name:"remove" (fun b ->
+let build_remove ~id ~regions =
+  P.build_ar ~id ~regions ~name:"remove" (fun b ->
       (* r0 = &bucket head, r1 = key, r5 = mailbox.
          r8 = address of the link under inspection, r9 = node. *)
       let loop = A.new_label b in
@@ -88,14 +88,21 @@ let build_remove ~id =
 
 let make ?(buckets = 8) ?(key_range = 160) ?(pool_per_thread = 512) () =
   let layout = Layout.create () in
-  let heads = Array.init buckets (fun _ -> Layout.alloc_line layout) in
+  let heads = Array.init buckets (fun _ -> Layout.alloc_line ~region:"hm.head" layout) in
   let mail = mailboxes layout ~threads:max_threads in
   let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"hm.node" layout))
   in
-  let insert = build_insert ~id:0 in
-  let lookup = build_lookup ~id:1 in
-  let remove = build_remove ~id:2 in
+  (* The chain-walk sites are tagged "hm.node" but their first iteration
+     dereferences (and remove's unlink may write) the bucket-head link
+     itself, so the node region's extent must also cover the head lines. *)
+  Layout.note_span layout ~region:"hm.node" ~lo:heads.(0)
+    ~hi:(heads.(buckets - 1) + Mem.Addr.words_per_line - 1);
+  let regions = Layout.extents layout in
+  let insert = build_insert ~id:0 ~regions in
+  let lookup = build_lookup ~id:1 ~regions in
+  let remove = build_remove ~id:2 ~regions in
   let bucket_of key = heads.(key mod buckets) in
   let setup store _rng = Array.iter (fun h -> Mem.Store.write store h 0) heads in
   let make_driver ~tid ~threads:_ _store rng =
@@ -121,6 +128,7 @@ let make ?(buckets = 8) ?(key_range = 160) ?(pool_per_thread = 512) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

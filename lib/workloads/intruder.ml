@@ -8,8 +8,8 @@ let fragment_words = 16 (* two cachelines of payload *)
 (* Claim the fragment at the head of the (always-full) capture ring and
    checksum its payload: loads the head index, then walks the fragment's
    words accumulating into the mailbox. *)
-let build_pop_fragment ~id =
-  P.build_ar ~id ~name:"pop_fragment" (fun b ->
+let build_pop_fragment ~id ~regions =
+  P.build_ar ~id ~name:"pop_fragment" ~regions (fun b ->
       (* r0 = &head, r1 = slots base, r3 = capacity, r5 = mailbox *)
       let loop = A.new_label b in
       A.ld b ~dst:8 ~base:(reg 0) ~region:"intr.idx" ();
@@ -31,22 +31,26 @@ let build_pop_fragment ~id =
 
 let make ?(ring_capacity = 32) ?(flows = 24) () =
   let layout = Layout.create () in
-  let head = Layout.alloc_line layout in
-  let tail = Layout.alloc_line layout in
-  let slots = Layout.alloc_lines layout (ring_capacity * fragment_words / Mem.Addr.words_per_line) in
-  let flow_dir = Layout.alloc_words layout flows in
-  let flow_recs = Array.init flows (fun _ -> Layout.alloc_line layout) in
-  let det_dir = Layout.alloc_words layout 1 in
-  let det_rec = Layout.alloc_line layout in
+  let head = Layout.alloc_line ~region:"intr.idx" layout in
+  let tail = Layout.alloc_line ~region:"intr.idx" layout in
+  let slots =
+    Layout.alloc_lines ~region:"intr.frag" layout
+      (ring_capacity * fragment_words / Mem.Addr.words_per_line)
+  in
+  let flow_dir = Layout.alloc_words ~region:"intr.fdir" layout flows in
+  let flow_recs = Array.init flows (fun _ -> Layout.alloc_line ~region:"intr.flow" layout) in
+  let det_dir = Layout.alloc_words ~region:"intr.ddir" layout 1 in
+  let det_rec = Layout.alloc_line ~region:"intr.det" layout in
   let mail = mailboxes layout ~threads:max_threads in
-  let pop_fragment = build_pop_fragment ~id:0 in
+  let regions = Layout.extents layout in
+  let pop_fragment = build_pop_fragment ~id:0 ~regions in
   let update_flow =
     dir_update_ar ~id:1 ~name:"update_flow" ~dir_region:"intr.fdir" ~record_region:"intr.flow"
-      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2); (2, `Set_reg 3) ]
+      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2); (2, `Set_reg 3) ] ~regions ()
   in
   let update_detector =
     dir_update_ar ~id:2 ~name:"update_detector" ~dir_region:"intr.ddir" ~record_region:"intr.det"
-      ~fields:[ (0, `Add_reg 1) ]
+      ~fields:[ (0, `Add_reg 1) ] ~regions ()
   in
   let setup store rng =
     Mem.Store.write store head 0;
@@ -80,6 +84,7 @@ let make ?(ring_capacity = 32) ?(flows = 24) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

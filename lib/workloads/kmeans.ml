@@ -5,21 +5,23 @@ let dims = 4
 
 let make ?(clusters = 8) ~name () =
   let layout = Layout.create () in
-  let dir = Layout.alloc_words layout clusters in
-  let centers = Array.init clusters (fun _ -> Layout.alloc_line layout) in
-  let members = Array.init clusters (fun _ -> Layout.alloc_line layout) in
-  let member_dir = Layout.alloc_words layout clusters in
-  let delta = Layout.alloc_line layout in
+  let dir = Layout.alloc_words ~region:"km.dir" layout clusters in
+  let centers = Array.init clusters (fun _ -> Layout.alloc_line ~region:"km.center" layout) in
+  let members = Array.init clusters (fun _ -> Layout.alloc_line ~region:"km.members" layout) in
+  let member_dir = Layout.alloc_words ~region:"km.mdir" layout clusters in
+  let delta = Layout.alloc_line ~region:"km.delta" layout in
+  let regions = Layout.extents layout in
   let add_point =
     dir_update_ar ~id:0 ~name:"add_point" ~dir_region:"km.dir" ~record_region:"km.center"
       ~fields:
         [ (0, `Add_reg 1); (1, `Add_reg 2); (2, `Add_reg 3); (3, `Add_reg 4); (dims, `Add_reg 5) ]
+      ~regions ()
   in
   let update_membership =
     dir_update_ar ~id:1 ~name:"update_membership" ~dir_region:"km.mdir" ~record_region:"km.members"
-      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2) ]
+      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2) ] ~regions ()
   in
-  let update_delta = fetch_add_ar ~id:2 ~name:"update_delta" ~region:"km.delta" in
+  let update_delta = fetch_add_ar ~id:2 ~name:"update_delta" ~region:"km.delta" ~regions () in
   let setup store _rng =
     Array.iteri
       (fun k base ->
@@ -54,6 +56,7 @@ let make ?(clusters = 8) ~name () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let high = make ~clusters:6 ~name:"kmeans-h" ()

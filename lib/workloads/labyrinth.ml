@@ -15,8 +15,8 @@ let load_cell b =
   A.ld b ~dst:10 ~base:(reg 9) ~region:"lab.path" ();
   A.add b ~dst:11 (reg 2) (reg 10)
 
-let build_claim ~id =
-  P.build_ar ~id ~name:"claim_path" (fun b ->
+let build_claim ~id ~regions =
+  P.build_ar ~id ~name:"claim_path" ~regions (fun b ->
       let check = A.new_label b in
       let write = A.new_label b in
       let write_loop = A.new_label b in
@@ -45,8 +45,8 @@ let build_claim ~id =
       A.place b done_;
       A.halt b)
 
-let build_erase ~id =
-  P.build_ar ~id ~name:"erase_path" (fun b ->
+let build_erase ~id ~regions =
+  P.build_ar ~id ~name:"erase_path" ~regions (fun b ->
       let loop = A.new_label b in
       let skip = A.new_label b in
       path_prologue b;
@@ -60,8 +60,8 @@ let build_erase ~id =
       A.brc b Isa.Instr.Lt (reg 8) (reg 1) loop;
       A.halt b)
 
-let build_validate ~id =
-  P.build_ar ~id ~name:"validate_path" (fun b ->
+let build_validate ~id ~regions =
+  P.build_ar ~id ~name:"validate_path" ~regions (fun b ->
       let loop = A.new_label b in
       let skip = A.new_label b in
       path_prologue b;
@@ -80,15 +80,20 @@ let build_validate ~id =
 let make ?(grid = 24) ?(path_len = 18) () =
   let layout = Layout.create () in
   let cells = grid * grid in
-  let grid_base = Layout.alloc_lines layout ((cells + Mem.Addr.words_per_line - 1) / Mem.Addr.words_per_line) in
+  let grid_base =
+    Layout.alloc_lines ~region:"lab.grid" layout
+      ((cells + Mem.Addr.words_per_line - 1) / Mem.Addr.words_per_line)
+  in
   let path_bufs =
     Array.init max_threads (fun _ ->
-        Layout.alloc_lines layout ((path_len + Mem.Addr.words_per_line - 1) / Mem.Addr.words_per_line))
+        Layout.alloc_lines ~region:"lab.path" layout
+          ((path_len + Mem.Addr.words_per_line - 1) / Mem.Addr.words_per_line))
   in
   let mail = mailboxes layout ~threads:max_threads in
-  let claim = build_claim ~id:0 in
-  let erase = build_erase ~id:1 in
-  let validate = build_validate ~id:2 in
+  let regions = Layout.extents layout in
+  let claim = build_claim ~id:0 ~regions in
+  let erase = build_erase ~id:1 ~regions in
+  let validate = build_validate ~id:2 ~regions in
   let setup store _rng = Mem.Store.fill store grid_base ~len:cells 0 in
   let make_driver ~tid ~threads:_ store rng =
     let buf = path_bufs.(tid) in
@@ -126,6 +131,7 @@ let make ?(grid = 24) ?(path_len = 18) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = false;
   }
 
 let workload = make ()

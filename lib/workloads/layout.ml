@@ -1,24 +1,38 @@
-type t = { mutable next : Mem.Addr.t }
+type t = { mutable next : Mem.Addr.t; extents : (string, int * int) Hashtbl.t }
 
 let words_per_line = Mem.Addr.words_per_line
 
-let create ?(base = 64) () = { next = base }
+let create ?(base = 64) () = { next = base; extents = Hashtbl.create 8 }
+
+let note_span t ~region ~lo ~hi =
+  if region <> "" && hi >= lo then
+    match Hashtbl.find_opt t.extents region with
+    | None -> Hashtbl.replace t.extents region (lo, hi)
+    | Some (plo, phi) -> Hashtbl.replace t.extents region (min plo lo, max phi hi)
 
 let align_line t =
   let rem = t.next mod words_per_line in
   if rem <> 0 then t.next <- t.next + (words_per_line - rem)
 
-let alloc_lines t n =
+let alloc_lines ?(region = "") t n =
   align_line t;
   let a = t.next in
   t.next <- t.next + (n * words_per_line);
+  note_span t ~region ~lo:a ~hi:(t.next - 1);
   a
 
-let alloc_line t = alloc_lines t 1
+let alloc_line ?region t = alloc_lines ?region t 1
 
-let alloc_words t n =
+let alloc_words ?(region = "") t n =
   let a = t.next in
   t.next <- t.next + n;
+  note_span t ~region ~lo:a ~hi:(t.next - 1);
   a
 
 let used_words t = t.next
+
+let extents t =
+  Hashtbl.fold (fun region span acc -> (region, span) :: acc) t.extents []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let extent t region = Hashtbl.find_opt t.extents region

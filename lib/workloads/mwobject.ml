@@ -5,9 +5,10 @@ open Common
 
 let make ?(objects = 2) () =
   let layout = Layout.create () in
-  let bases = Array.init objects (fun _ -> Layout.alloc_line layout) in
+  let bases = Array.init objects (fun _ -> Layout.alloc_line ~region:"mwobj" layout) in
+  let regions = Layout.extents layout in
   let update =
-    P.build_ar ~id:0 ~name:"mw_update" (fun b ->
+    P.build_ar ~id:0 ~name:"mw_update" ~regions (fun b ->
         (* r0 = object base; r1..r4 = deltas for the four fields *)
         List.iter
           (fun k ->
@@ -30,6 +31,7 @@ let make ?(objects = 2) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

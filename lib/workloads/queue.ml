@@ -8,8 +8,8 @@ let o_val = 0
 
 let o_next = 1
 
-let build_enqueue ~id =
-  P.build_ar ~id ~name:"enqueue" (fun b ->
+let build_enqueue ~id ~regions =
+  P.build_ar ~id ~name:"enqueue" ~regions (fun b ->
       (* r0 = &tail ptr, r1 = value, r2 = fresh node *)
       A.st b ~base:(reg 2) ~off:o_val ~src:(reg 1) ~region:"q.node" ();
       A.st b ~base:(reg 2) ~off:o_next ~src:(imm 0) ~region:"q.node" ();
@@ -18,8 +18,8 @@ let build_enqueue ~id =
       A.st b ~base:(reg 0) ~src:(reg 2) ~region:"q.tail" ();
       A.halt b)
 
-let build_dequeue ~id =
-  P.build_ar ~id ~name:"dequeue" (fun b ->
+let build_dequeue ~id ~regions =
+  P.build_ar ~id ~name:"dequeue" ~regions (fun b ->
       (* r0 = &head ptr, r5 = mailbox. Head points at the consumed sentinel. *)
       let empty = A.new_label b in
       let done_ = A.new_label b in
@@ -37,15 +37,17 @@ let build_dequeue ~id =
 
 let make ?(pool_per_thread = 512) () =
   let layout = Layout.create () in
-  let head = Layout.alloc_line layout in
-  let tail = Layout.alloc_line layout in
-  let sentinel = Layout.alloc_line layout in
+  let head = Layout.alloc_line ~region:"q.head" layout in
+  let tail = Layout.alloc_line ~region:"q.tail" layout in
+  let sentinel = Layout.alloc_line ~region:"q.node" layout in
   let mail = mailboxes layout ~threads:max_threads in
   let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"q.node" layout))
   in
-  let enqueue = build_enqueue ~id:0 in
-  let dequeue = build_dequeue ~id:1 in
+  let regions = Layout.extents layout in
+  let enqueue = build_enqueue ~id:0 ~regions in
+  let dequeue = build_dequeue ~id:1 ~regions in
   let setup store _rng =
     Mem.Store.write store (sentinel + o_val) 0;
     Mem.Store.write store (sentinel + o_next) 0;
@@ -70,6 +72,7 @@ let make ?(pool_per_thread = 512) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -7,8 +7,8 @@ let o_key = 0
 
 let o_next = 1
 
-let build_count ~id =
-  P.build_ar ~id ~name:"count_matching" (fun b ->
+let build_count ~id ~regions =
+  P.build_ar ~id ~name:"count_matching" ~regions (fun b ->
       (* r0 = &head, r1 = key, r5 = mailbox *)
       let loop = A.new_label b in
       let skip = A.new_label b in
@@ -27,8 +27,8 @@ let build_count ~id =
       A.st b ~base:(reg 5) ~src:(reg 9) ~region:"mailbox" ();
       A.halt b)
 
-let build_insert ~id =
-  P.build_ar ~id ~name:"insert" (fun b ->
+let build_insert ~id ~regions =
+  P.build_ar ~id ~name:"insert" ~regions (fun b ->
       (* Set-style sorted insert (duplicates skipped, so the list stays
          bounded by the key range). r0 = &head, r1 = key, r2 = fresh node.
          r8 = address of the link being examined, r9 = node it points to. *)
@@ -53,16 +53,22 @@ let build_insert ~id =
 
 let make ?(initial = 10) ?(key_range = 24) ?(pool_per_thread = 512) () =
   let layout = Layout.create () in
-  let head = Layout.alloc_line layout in
-  let stats = Layout.alloc_line layout in
+  let head = Layout.alloc_line ~region:"list.head" layout in
+  let stats = Layout.alloc_line ~region:"list.stats" layout in
   let mail = mailboxes layout ~threads:max_threads in
-  let setup_pool = Array.init initial (fun _ -> Layout.alloc_line layout) in
+  let setup_pool = Array.init initial (fun _ -> Layout.alloc_line ~region:"list.node" layout) in
   let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"list.node" layout))
   in
-  let count_matching = build_count ~id:0 in
-  let insert = build_insert ~id:1 in
-  let update_stats = fetch_add_ar ~id:2 ~name:"update_stats" ~region:"list.stats" in
+  (* The walk sites are tagged "list.node" but their first iteration
+     dereferences the head line (r8 starts at &head), so the node extent
+     must take the head line in. *)
+  Layout.note_span layout ~region:"list.node" ~lo:head ~hi:(head + Mem.Addr.words_per_line - 1);
+  let regions = Layout.extents layout in
+  let count_matching = build_count ~id:0 ~regions in
+  let insert = build_insert ~id:1 ~regions in
+  let update_stats = fetch_add_ar ~id:2 ~name:"update_stats" ~region:"list.stats" ~regions () in
   let setup store rng =
     Mem.Store.write store head 0;
     Mem.Store.write store stats 0;
@@ -101,6 +107,7 @@ let make ?(initial = 10) ?(key_range = 24) ?(pool_per_thread = 512) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

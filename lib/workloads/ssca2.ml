@@ -5,22 +5,24 @@ open Common
 
 let make ?(nodes = 96) ?(slots_per_node = 16) () =
   let layout = Layout.create () in
-  let degrees = Array.init nodes (fun _ -> Layout.alloc_line layout) in
+  let degrees = Array.init nodes (fun _ -> Layout.alloc_line ~region:"g.degree" layout) in
   let edges =
-    Array.init nodes (fun _ -> Layout.alloc_lines layout (slots_per_node / Mem.Addr.words_per_line))
+    Array.init nodes (fun _ ->
+        Layout.alloc_lines ~region:"g.edges" layout (slots_per_node / Mem.Addr.words_per_line))
   in
-  let stats_dir = Layout.alloc_words layout 1 in
-  let stats_rec = Layout.alloc_line layout in
-  let inc_degree = fetch_add_ar ~id:0 ~name:"inc_degree" ~region:"g.degree" in
+  let stats_dir = Layout.alloc_words ~region:"g.dir" layout 1 in
+  let stats_rec = Layout.alloc_line ~region:"g.stats" layout in
+  let regions = Layout.extents layout in
+  let inc_degree = fetch_add_ar ~id:0 ~name:"inc_degree" ~region:"g.degree" ~regions () in
   let write_edge =
-    P.build_ar ~id:1 ~name:"write_edge" (fun b ->
+    P.build_ar ~id:1 ~name:"write_edge" ~regions (fun b ->
         (* r0 = edge slot address, r1 = target node id *)
         A.st b ~base:(reg 0) ~src:(reg 1) ~region:"g.edges" ();
         A.halt b)
   in
   let update_stats =
     dir_update_ar ~id:2 ~name:"update_stats" ~dir_region:"g.dir" ~record_region:"g.stats"
-      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2) ]
+      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2) ] ~regions ()
   in
   let setup store _rng =
     Array.iter (fun d -> Mem.Store.write store d 0) degrees;
@@ -47,6 +49,7 @@ let make ?(nodes = 96) ?(slots_per_node = 16) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

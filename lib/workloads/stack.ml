@@ -7,8 +7,8 @@ let o_val = 0
 
 let o_next = 1
 
-let build_push ~id =
-  P.build_ar ~id ~name:"push" (fun b ->
+let build_push ~id ~regions =
+  P.build_ar ~id ~name:"push" ~regions (fun b ->
       (* r0 = &top, r1 = value, r2 = fresh node *)
       A.st b ~base:(reg 2) ~off:o_val ~src:(reg 1) ~region:"st.node" ();
       A.ld b ~dst:8 ~base:(reg 0) ~region:"st.top" ();
@@ -16,8 +16,8 @@ let build_push ~id =
       A.st b ~base:(reg 0) ~src:(reg 2) ~region:"st.top" ();
       A.halt b)
 
-let build_pop ~id =
-  P.build_ar ~id ~name:"pop" (fun b ->
+let build_pop ~id ~regions =
+  P.build_ar ~id ~name:"pop" ~regions (fun b ->
       (* r0 = &top, r5 = mailbox *)
       let empty = A.new_label b in
       let done_ = A.new_label b in
@@ -35,13 +35,15 @@ let build_pop ~id =
 
 let make ?(pool_per_thread = 512) () =
   let layout = Layout.create () in
-  let top = Layout.alloc_line layout in
+  let top = Layout.alloc_line ~region:"st.top" layout in
   let mail = mailboxes layout ~threads:max_threads in
   let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"st.node" layout))
   in
-  let push = build_push ~id:0 in
-  let pop = build_pop ~id:1 in
+  let regions = Layout.extents layout in
+  let push = build_push ~id:0 ~regions in
+  let pop = build_pop ~id:1 ~regions in
   let setup store _rng = Mem.Store.write store top 0 in
   let make_driver ~tid ~threads:_ _store rng =
     let pool = pools.(tid) in
@@ -61,6 +63,7 @@ let make ?(pool_per_thread = 512) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -14,8 +14,8 @@ let o_next = 3
 
 (* Walk the resource chain for record [r1]; when found, move one unit
    between [free] and [used]. [delta] +1 reserves, -1 cancels. *)
-let build_book ~id ~name ~delta =
-  P.build_ar ~id ~name (fun b ->
+let build_book ~id ~name ~delta ~regions =
+  P.build_ar ~id ~name ~regions (fun b ->
       (* r0 = &chain head, r1 = record id, r5 = mailbox *)
       let loop = A.new_label b in
       let found = A.new_label b in
@@ -44,17 +44,20 @@ let build_book ~id ~name ~delta =
 
 let make ?(resources = 8) ?(chain = 6) ~name () =
   let layout = Layout.create () in
-  let heads = Array.init resources (fun _ -> Layout.alloc_line layout) in
-  let records = Array.init (resources * chain) (fun _ -> Layout.alloc_line layout) in
+  let heads = Array.init resources (fun _ -> Layout.alloc_line ~region:"vac.head" layout) in
+  let records =
+    Array.init (resources * chain) (fun _ -> Layout.alloc_line ~region:"vac.rec" layout)
+  in
   let customers = 32 in
-  let cust_dir = Layout.alloc_words layout customers in
-  let cust_recs = Array.init customers (fun _ -> Layout.alloc_line layout) in
+  let cust_dir = Layout.alloc_words ~region:"vac.cdir" layout customers in
+  let cust_recs = Array.init customers (fun _ -> Layout.alloc_line ~region:"vac.cust" layout) in
   let mail = mailboxes layout ~threads:max_threads in
-  let reserve = build_book ~id:0 ~name:"reserve" ~delta:1 in
-  let cancel = build_book ~id:1 ~name:"cancel" ~delta:(-1) in
+  let regions = Layout.extents layout in
+  let reserve = build_book ~id:0 ~name:"reserve" ~delta:1 ~regions in
+  let cancel = build_book ~id:1 ~name:"cancel" ~delta:(-1) ~regions in
   let update_customer =
     dir_update_ar ~id:2 ~name:"update_customer" ~dir_region:"vac.cdir" ~record_region:"vac.cust"
-      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2) ]
+      ~fields:[ (0, `Add_reg 1); (1, `Add_reg 2) ] ~regions ()
   in
   let setup store _rng =
     Array.iteri
@@ -97,6 +100,7 @@ let make ?(resources = 8) ?(chain = 6) ~name () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let high = make ~resources:6 ~chain:8 ~name:"vacation-h" ()

@@ -8,8 +8,8 @@ let t_quality = 0
 
 let neighbor_offsets = [ 1; 2; 3 ]
 
-let build_pop_work ~id =
-  P.build_ar ~id ~name:"pop_work" (fun b ->
+let build_pop_work ~id ~regions =
+  P.build_ar ~id ~name:"pop_work" ~regions (fun b ->
       (* r0 = &head, r1 = ring base, r3 = capacity, r5 = mailbox *)
       A.ld b ~dst:8 ~base:(reg 0) ~region:"yada.idx" ();
       A.binop b Isa.Instr.Rem ~dst:9 (reg 8) (reg 3);
@@ -20,8 +20,8 @@ let build_pop_work ~id =
       A.st b ~base:(reg 0) ~src:(reg 8) ~region:"yada.idx" ();
       A.halt b)
 
-let build_push_work ~id =
-  P.build_ar ~id ~name:"push_work" (fun b ->
+let build_push_work ~id ~regions =
+  P.build_ar ~id ~name:"push_work" ~regions (fun b ->
       (* r0 = &tail, r1 = ring base, r3 = capacity, r2 = triangle addr *)
       A.ld b ~dst:8 ~base:(reg 0) ~region:"yada.idx" ();
       A.binop b Isa.Instr.Rem ~dst:9 (reg 8) (reg 3);
@@ -32,8 +32,8 @@ let build_push_work ~id =
       A.halt b)
 
 (* Improve a triangle: bump its quality and its live neighbours'. *)
-let build_refine ~id =
-  P.build_ar ~id ~name:"refine" (fun b ->
+let build_refine ~id ~regions =
+  P.build_ar ~id ~name:"refine" ~regions (fun b ->
       (* r0 = triangle, r1 = delta *)
       A.ld b ~dst:8 ~base:(reg 0) ~off:t_quality ~region:"yada.tri" ();
       A.add b ~dst:8 (reg 8) (reg 1);
@@ -55,8 +55,8 @@ let build_refine ~id =
 
 (* Split: insert a fresh triangle between [r0] and its first neighbour,
    fixing up the displaced neighbour's back link. *)
-let build_split ~id =
-  P.build_ar ~id ~name:"split" (fun b ->
+let build_split ~id ~regions =
+  P.build_ar ~id ~name:"split" ~regions (fun b ->
       (* r0 = triangle, r2 = fresh triangle *)
       let no_neighbor = A.new_label b in
       A.ld b ~dst:8 ~base:(reg 0) ~off:1 ~region:"yada.tri" ();
@@ -71,8 +71,8 @@ let build_split ~id =
       A.halt b)
 
 (* Count bad-quality triangles in a neighbourhood. *)
-let build_check ~id =
-  P.build_ar ~id ~name:"check_quality" (fun b ->
+let build_check ~id ~regions =
+  P.build_ar ~id ~name:"check_quality" ~regions (fun b ->
       (* r0 = triangle, r1 = threshold, r5 = mailbox *)
       A.mov b ~dst:12 (imm 0);
       let bump = A.new_label b in
@@ -105,21 +105,25 @@ let build_check ~id =
 
 let make ?(triangles = 48) ?(ring_capacity = 64) ?(pool_per_thread = 256) () =
   let layout = Layout.create () in
-  let head = Layout.alloc_line layout in
-  let tail = Layout.alloc_line layout in
-  let ring = Layout.alloc_lines layout (ring_capacity / Mem.Addr.words_per_line) in
-  let counter = Layout.alloc_line layout in
-  let tris = Array.init triangles (fun _ -> Layout.alloc_line layout) in
+  let head = Layout.alloc_line ~region:"yada.idx" layout in
+  let tail = Layout.alloc_line ~region:"yada.idx" layout in
+  let ring = Layout.alloc_lines ~region:"yada.ring" layout (ring_capacity / Mem.Addr.words_per_line) in
+  let counter = Layout.alloc_line ~region:"yada.count" layout in
+  let tris = Array.init triangles (fun _ -> Layout.alloc_line ~region:"yada.tri" layout) in
   let mail = mailboxes layout ~threads:max_threads in
+  (* Pool lines are handed to [split] as fresh triangles and written under
+     the "yada.tri" tag, so they must fall inside that region's extent. *)
   let pools =
-    Array.init max_threads (fun _ -> Array.init pool_per_thread (fun _ -> Layout.alloc_line layout))
+    Array.init max_threads (fun _ ->
+        Array.init pool_per_thread (fun _ -> Layout.alloc_line ~region:"yada.tri" layout))
   in
-  let pop_work = build_pop_work ~id:0 in
-  let push_work = build_push_work ~id:1 in
-  let refine = build_refine ~id:2 in
-  let split = build_split ~id:3 in
-  let check = build_check ~id:4 in
-  let global_counter = fetch_add_ar ~id:5 ~name:"global_counter" ~region:"yada.count" in
+  let regions = Layout.extents layout in
+  let pop_work = build_pop_work ~id:0 ~regions in
+  let push_work = build_push_work ~id:1 ~regions in
+  let refine = build_refine ~id:2 ~regions in
+  let split = build_split ~id:3 ~regions in
+  let check = build_check ~id:4 ~regions in
+  let global_counter = fetch_add_ar ~id:5 ~name:"global_counter" ~region:"yada.count" ~regions () in
   let setup store rng =
     Mem.Store.write store head 0;
     Mem.Store.write store tail (ring_capacity / 2);
@@ -160,6 +164,7 @@ let make ?(triangles = 48) ?(ring_capacity = 64) ?(pool_per_thread = 256) () =
     memory_words = Layout.used_words layout;
     setup;
     make_driver;
+    pure_driver = true;
   }
 
 let workload = make ()

@@ -116,6 +116,7 @@ let private_counters_workload () =
       (fun ~tid ~threads:_ _ _ () ->
         (* one line per core, far apart: distinct lines and L3 sets *)
         Workload.op ar [ (0, 64 + (tid * 1024)) ]);
+    pure_driver = true;
   }
 
 let test_extension_fires () =
@@ -181,6 +182,7 @@ let gen_workload ~seed =
         let ar = arr.(Simrt.Rng.int rng (Array.length arr)) in
         let inits = List.init 4 (fun r -> (r, window_base + Simrt.Rng.int rng window_words)) in
         Workload.op ar inits);
+    pure_driver = true;
   }
 
 let qcheck_random_identity =
